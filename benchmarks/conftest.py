@@ -1,0 +1,69 @@
+"""Shared configuration for the benchmark harness.
+
+Each module under ``benchmarks/`` regenerates one table or figure of the
+paper (see DESIGN.md's per-experiment index): it runs the scaled experiment,
+prints the same rows/series the paper reports, and asserts the paper's
+*shape* (who wins, roughly by how much) — not absolute numbers, which belong
+to the authors' hardware.
+
+Scale knobs (environment variables, read at session start):
+
+``REPRO_KEYS_PER_GB``   pairs standing in for 1 "paper GB"  (default 400)
+``REPRO_OPS_FACTOR``    request-count multiplier            (default 0.5)
+
+Raise both for a slower, closer-to-paper run; results below are stable from
+the defaults up.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import sys
+
+import pytest
+
+# Make experiment memoization shared across benchmark modules.
+sys.stdout.reconfigure(line_buffering=True)
+
+BENCH_KEYS_PER_GB = int(os.environ.get("REPRO_KEYS_PER_GB", "400"))
+BENCH_OPS_FACTOR = float(os.environ.get("REPRO_OPS_FACTOR", "0.5"))
+
+
+@pytest.fixture(scope="session")
+def scale():
+    from repro.experiments import DEFAULT_SCALE
+
+    return dataclasses.replace(DEFAULT_SCALE, keys_per_gb=BENCH_KEYS_PER_GB)
+
+
+@pytest.fixture(scope="session")
+def ops_factor():
+    return BENCH_OPS_FACTOR
+
+
+def emit(title: str, headers, rows) -> None:
+    """Print one figure/table in the paper's layout."""
+    from repro.metrics.report import format_table
+
+    print()
+    print(format_table(headers, rows, title=title))
+
+
+def column(rows, header_index: int) -> dict:
+    """Map system name -> value for one column of a driver result."""
+    return {row[0]: row[header_index] for row in rows}
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _patch_ops_factor():
+    """Apply REPRO_OPS_FACTOR to the experiment config for this session."""
+    import repro.experiments.config as config
+
+    original = config.OPS_FACTOR
+    config.OPS_FACTOR = BENCH_OPS_FACTOR
+
+    # ExperimentScale.num_ops reads the module-level constant at call time
+    # via the class method; patch the method's global through the module.
+    yield
+    config.OPS_FACTOR = original

@@ -1,0 +1,30 @@
+"""Fig 10 — where BlockDB's extra space lives.
+
+Paper result: most of BlockDB's space amplification sits at middle levels
+(where Block Compaction appends aggressively); the last level adds little,
+because Selective Compaction prefers Table Compaction there.
+"""
+
+from conftest import emit
+from repro.experiments import fig10_sa_per_level
+
+
+def test_fig10_sa_per_level(benchmark, scale):
+    headers, rows = benchmark.pedantic(
+        lambda: fig10_sa_per_level(scale, paper_gb=40), rounds=1, iterations=1
+    )
+    emit("Fig 10 — BlockDB peak obsolete bytes per level (KiB)", headers, rows)
+
+    obsolete = {row[0]: row[1] for row in rows}
+    assert len(obsolete) >= 3
+    # L0 holds freshly flushed tables only — no appended garbage.
+    assert obsolete["L0"] == 0
+    # Middle levels dominate the obsolete-byte mass.
+    middle = [v for lvl, v in obsolete.items() if lvl not in ("L0",)]
+    assert max(middle) > 0
+    levels = sorted(obsolete)
+    last = levels[-1]
+    mids = [obsolete[lvl] for lvl in levels[1:-1]]
+    if mids:
+        # The last level never dominates the worst middle level by much.
+        assert obsolete[last] <= max(mids) * 1.5 + 1

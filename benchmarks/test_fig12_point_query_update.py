@@ -1,0 +1,30 @@
+"""Fig 12 — point queries mixed with updates (RH/RW/WH).
+
+Paper result: BlockDB improves on RocksDB by up to 13.4-24.2% across the
+mixes, with larger gains at higher update ratios.
+"""
+
+from conftest import emit
+from repro.experiments import fig12_point_query_update
+
+
+def test_fig12_point_query_update(benchmark, scale):
+    headers, rows = benchmark.pedantic(
+        lambda: fig12_point_query_update(scale), rounds=1, iterations=1
+    )
+    emit("Fig 12 — point queries + updates, running time (simulated s)", headers, rows)
+
+    names = headers[1:]  # RH RW WH
+    data = {row[0]: dict(zip(names, row[1:])) for row in rows}
+
+    # BlockDB at least matches the Table Compaction engines everywhere and
+    # clearly wins on the write-heaviest mix.
+    for mix in names:
+        assert data["BlockDB"][mix] <= data["RocksDB"][mix] * 1.05
+    assert data["BlockDB"]["WH"] < data["RocksDB"]["WH"]
+    gain_wh = 1 - data["BlockDB"]["WH"] / data["RocksDB"]["WH"]
+    assert gain_wh > 0.05
+
+    # Advantage grows with the update ratio (RH -> WH).
+    gain_rh = 1 - data["BlockDB"]["RH"] / data["RocksDB"]["RH"]
+    assert gain_wh >= gain_rh

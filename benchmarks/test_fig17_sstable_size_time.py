@@ -1,0 +1,33 @@
+"""Fig 17 — running time under varying SSTable sizes.
+
+Paper result: larger SSTables improve everyone's write performance (bigger
+L0/L1, shallower tree, fewer compactions); BlockDB reduces running time by
+up to 43.6% across the sweep.
+"""
+
+from conftest import emit
+from repro.experiments import fig17_sstable_size_running_time
+
+SIZES = (32 * 1024, 64 * 1024, 128 * 1024)
+
+
+def test_fig17_sstable_size_running_time(benchmark, scale):
+    headers, rows = benchmark.pedantic(
+        lambda: fig17_sstable_size_running_time(scale, sstable_sizes=SIZES, paper_gb=40),
+        rounds=1,
+        iterations=1,
+    )
+    emit("Fig 17 — running time vs SSTable size (simulated s)", headers, rows)
+
+    data = {row[0]: row[1:] for row in rows}
+
+    # Larger SSTables -> faster loads, for every system.
+    for system, times in data.items():
+        assert times[-1] < times[0], f"{system} did not speed up with SSTable size"
+
+    # BlockDB wins at every size; the biggest win is substantial.
+    gains = []
+    for i in range(len(SIZES)):
+        assert data["BlockDB"][i] < data["LevelDB"][i]
+        gains.append(1 - data["BlockDB"][i] / data["LevelDB"][i])
+    assert max(gains) > 0.10

@@ -1,0 +1,35 @@
+"""Fig 5 — write performance: running time of a uniform write-only load.
+
+Paper result: BlockDB decreases running time by up to 28% vs LevelDB;
+LevelDB ~ RocksDB; L2SM is the slowest (Table Compaction plus the overhead
+of computing hotness/density under a uniform workload that defeats its log).
+"""
+
+from conftest import column, emit
+from repro.experiments import fig5_write_performance
+
+
+def test_fig5_write_performance(benchmark, scale):
+    headers, rows = benchmark.pedantic(
+        lambda: fig5_write_performance(scale, sizes=(40, 80)), rounds=1, iterations=1
+    )
+    emit("Fig 5 — write-only load, running time (simulated s)", headers, rows)
+
+    for col in (1, 2):
+        times = column(rows, col)
+        # BlockDB wins outright.
+        assert times["BlockDB"] < times["LevelDB"]
+        assert times["BlockDB"] < times["RocksDB"]
+        assert times["BlockDB"] < times["L2SM"]
+        # LevelDB and RocksDB are near-identical Table Compaction engines.
+        assert abs(times["LevelDB"] - times["RocksDB"]) / times["LevelDB"] < 0.10
+        # L2SM pays tracking overhead on top of Table Compaction.
+        assert times["L2SM"] >= times["RocksDB"] * 0.98
+
+    # The gap grows with dataset depth (paper: deeper trees, more block
+    # compactions at middle levels).
+    t40, t80 = column(rows, 1), column(rows, 2)
+    gain_40 = 1 - t40["BlockDB"] / t40["LevelDB"]
+    gain_80 = 1 - t80["BlockDB"] / t80["LevelDB"]
+    assert gain_40 > 0.05
+    assert gain_80 > gain_40 * 0.7

@@ -1,0 +1,34 @@
+"""Fig 6 — throughput while inserting the 80 GB-equivalent dataset.
+
+Paper result: LevelDB and RocksDB track each other; BlockDB sustains the
+best average insert throughput thanks to cheaper compactions.
+"""
+
+import statistics
+
+from conftest import emit
+from repro.experiments import SYSTEMS, fig6_throughput_curve
+
+
+def test_fig6_throughput_curve(benchmark, scale):
+    headers, rows = benchmark.pedantic(
+        lambda: fig6_throughput_curve(scale, paper_gb=80, windows=12),
+        rounds=1,
+        iterations=1,
+    )
+    emit("Fig 6 — insert throughput over time (ops per simulated s)", headers, rows)
+
+    assert len(rows) >= 10
+    means = {
+        system: statistics.mean(row[1 + i] for row in rows)
+        for i, system in enumerate(SYSTEMS)
+    }
+    assert means["BlockDB"] > means["LevelDB"]
+    assert means["BlockDB"] > means["RocksDB"]
+    assert means["BlockDB"] > means["L2SM"]
+    # Table-compaction twins track each other.
+    assert abs(means["LevelDB"] - means["RocksDB"]) / means["LevelDB"] < 0.10
+    # Throughput declines as the tree deepens (compaction debt grows).
+    first, last = rows[0], rows[-1]
+    for i, system in enumerate(SYSTEMS):
+        assert last[1 + i] < first[1 + i]

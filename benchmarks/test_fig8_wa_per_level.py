@@ -1,0 +1,31 @@
+"""Fig 8 — write traffic into each level.
+
+Paper result: BlockDB's L1 traffic equals LevelDB's (Selective Compaction
+forces Table Compaction between L0 and L1); at middle levels BlockDB writes
+up to 42.2% (L2) / 34.6% (L3) less.
+"""
+
+from conftest import emit
+from repro.experiments import fig8_wa_per_level
+
+
+def test_fig8_wa_per_level(benchmark, scale):
+    headers, rows = benchmark.pedantic(
+        lambda: fig8_wa_per_level(scale, paper_gb=80), rounds=1, iterations=1
+    )
+    emit("Fig 8 — bytes written into each level (MiB), 80 GB-equivalent load", headers, rows)
+
+    traffic = {row[0]: row[1:] for row in rows}
+    depth = len(headers) - 1
+    assert depth >= 3, "need at least L0..L2 for the per-level comparison"
+
+    # L0 (flush) traffic identical across engines.
+    l0 = [traffic[s][0] for s in traffic]
+    assert max(l0) / min(l0) < 1.05
+
+    # L1: BlockDB uses Table Compaction below L0 -> same traffic as LevelDB.
+    assert abs(traffic["BlockDB"][1] - traffic["LevelDB"][1]) / traffic["LevelDB"][1] < 0.10
+
+    # Middle levels: BlockDB writes substantially less.
+    middle_gain = 1 - traffic["BlockDB"][2] / traffic["LevelDB"][2]
+    assert middle_gain > 0.15

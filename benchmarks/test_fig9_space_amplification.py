@@ -1,0 +1,27 @@
+"""Fig 9 — space amplification after load + uniform updates.
+
+Paper result: LevelDB/RocksDB lowest (obsolete SSTables removed at once);
+BlockDB up to 19.6% (40 GB) / 15.6% (80 GB) above RocksDB — the bounded
+space cost of reusing blocks; L2SM pays for its log component.
+"""
+
+from conftest import column, emit
+from repro.experiments import fig9_space_amplification
+
+
+def test_fig9_space_amplification(benchmark, scale):
+    headers, rows = benchmark.pedantic(
+        lambda: fig9_space_amplification(scale, sizes=(40, 80)), rounds=1, iterations=1
+    )
+    emit("Fig 9 — space amplification (peak bytes / dataset)", headers, rows)
+
+    for col in (1, 2):
+        sa = column(rows, col)
+        # Table Compaction engines are the floor.
+        assert sa["LevelDB"] <= sa["BlockDB"]
+        assert sa["RocksDB"] <= sa["BlockDB"]
+        # BlockDB's overhead is bounded (Selective Compaction GC):
+        # paper shows ~20%, allow up to 60% at this scale.
+        assert sa["BlockDB"] / sa["RocksDB"] < 1.6
+        # Everything is within sane LSM territory.
+        assert all(1.0 <= v < 4.0 for v in sa.values())

@@ -1,0 +1,48 @@
+"""Supplemental — block size vs index memory and write amplification.
+
+Not a numbered figure: Section V-H of the paper suggests that BlockDB's
+index-block memory overhead "can be solved by enlarging the block size".
+This bench quantifies that remedy and its WA cost on the same load:
+
+* larger blocks ⇒ fewer index entries ⇒ less table-cache memory;
+* larger blocks ⇒ coarser dirty-block granularity ⇒ more bytes rewritten
+  per Block Compaction (Eq 3's B/k term) ⇒ higher WA.
+"""
+
+import dataclasses
+
+from conftest import emit
+from repro.experiments import DEFAULT_SCALE, run_load_experiment
+
+BLOCK_SIZES = (2048, 4096, 8192)
+
+
+def test_block_size_tradeoff(benchmark, scale):
+    def compute():
+        rows = []
+        for block_size in BLOCK_SIZES:
+            sized = dataclasses.replace(scale, block_size=block_size)
+            outcome = run_load_experiment("BlockDB", 20, sized)
+            rows.append(
+                [
+                    f"{block_size // 1024} KiB",
+                    round(outcome.index_memory_bytes / 1024, 1),
+                    round(outcome.write_amplification, 2),
+                    round(outcome.sim_time_s, 4),
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    emit(
+        "Supplemental — BlockDB block-size trade-off (20 GB-equivalent load)",
+        ["block size", "index memory (KiB)", "WA", "sim s"],
+        rows,
+    )
+
+    index_memory = [row[1] for row in rows]
+    wa = [row[2] for row in rows]
+    # Bigger blocks shrink the index...
+    assert index_memory[0] > index_memory[-1]
+    # ...and cost write amplification (coarser rewrite units).
+    assert wa[-1] >= wa[0] * 0.95

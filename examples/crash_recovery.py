@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Durability demo: WAL and manifest recovery on a real filesystem.
+
+Opens a BlockDB store on disk (LocalFS), writes data, simulates a crash by
+abandoning the handle without closing, then reopens the same directory and
+shows that committed writes survive — including writes that never made it
+out of the memtable (recovered from the WAL) and SSTables updated in place
+by Block Compaction (recovered through the manifest + latest table footer).
+
+Run:  python examples/crash_recovery.py
+"""
+
+import random
+import shutil
+import tempfile
+
+from repro import DB, LocalFS, blockdb
+
+
+def options():
+    return blockdb(sstable_size=32 * 1024, block_cache_capacity=256 * 1024)
+
+
+def main() -> None:
+    root = tempfile.mkdtemp(prefix="blockdb-demo-")
+    print(f"store directory: {root}")
+
+    # --- first life: write, then 'crash' -----------------------------------
+    db = DB(LocalFS(root), options())
+    print("writing 1,500 pairs (enough for flushes + compactions)...")
+    ordinals = list(range(1500))
+    random.Random(1).shuffle(ordinals)
+    for i in ordinals:
+        db.put(f"key{i:06d}".encode(), f"value-{i}".encode() * 4)
+    db.delete(b"key000100")
+    db.put(b"last-words", b"only-in-the-wal")  # will still be in the memtable
+
+    files = db.num_files_per_level()
+    appended = sum(1 for _l, m in db.version.all_files() if m.append_count > 0)
+    print(f"files per level: {files}  (block-compacted in place: {appended})")
+    print("CRASH (no close(), WAL not flushed)")
+    del db  # abandon without close
+
+    # --- second life: recover ------------------------------------------------
+    db2 = DB(LocalFS(root), options())
+    checks = [
+        (b"key000000", f"value-0".encode() * 4),
+        (b"key000100", None),  # deleted
+        (b"key001499", f"value-1499".encode() * 4),
+        (b"last-words", b"only-in-the-wal"),  # recovered from the WAL
+    ]
+    print("\nafter recovery:")
+    ok = True
+    for key, expected in checks:
+        got = db2.get(key)
+        status = "OK" if got == expected else "FAIL"
+        ok &= got == expected
+        print(f"  get({key.decode()}) = {got!r:40} [{status}]")
+
+    missing = sum(
+        1 for i in range(1500) if i != 100 and db2.get(f"key{i:06d}".encode()) is None
+    )
+    print(f"missing keys: {missing} / 1499")
+    print("recovery", "SUCCEEDED" if ok and missing == 0 else "FAILED")
+    db2.close()
+    shutil.rmtree(root)
+
+
+if __name__ == "__main__":
+    main()

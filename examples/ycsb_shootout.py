@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""YCSB shootout: the paper's four systems on one workload mix.
+
+Loads the same scaled dataset into LevelDB-, RocksDB-, L2SM- and
+BlockDB-configured engines, runs a write-heavy YCSB mix against each, and
+prints the comparison table — a miniature of the paper's Section V.
+
+Run:  python examples/ycsb_shootout.py [paper_gb] [workload]
+      python examples/ycsb_shootout.py 4 WH
+"""
+
+import sys
+
+from repro.experiments import DEFAULT_SCALE, SYSTEMS, make_system
+from repro.metrics import format_table, human_bytes
+from repro.ycsb import by_name, load_db, run_workload
+
+
+def main() -> None:
+    paper_gb = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+    workload = by_name(sys.argv[2] if len(sys.argv) > 2 else "WH")
+    scale = DEFAULT_SCALE
+    num_keys = scale.num_keys(paper_gb)
+    num_ops = num_keys  # the paper issues one request per loaded pair
+
+    print(
+        f"dataset: {paper_gb} paper-GB -> {num_keys:,} pairs of "
+        f"{scale.value_size} B; workload {workload.name} "
+        f"({workload.read_ratio:.0%} reads / {workload.write_ratio:.0%} writes), "
+        f"{num_ops:,} requests, zipf={workload.zipf}"
+    )
+
+    rows = []
+    for system in SYSTEMS:
+        db = make_system(system, scale, paper_gb=paper_gb)
+        load = load_db(db, num_keys, value_size=scale.value_size, seed=0)
+        run = run_workload(db, workload, num_ops, num_keys, value_size=scale.value_size, seed=1)
+        rows.append(
+            [
+                system,
+                round(load.sim_time_s, 3),
+                round(run.sim_time_s, 3),
+                round(db.stats.write_amplification(), 2),
+                f"{db.block_cache.hit_rate():.1%}",
+                human_bytes(db.io_stats.bytes_written),
+                db.stats.block_compactions,
+                db.stats.table_compactions,
+            ]
+        )
+        db.close()
+        print(f"  {system}: done")
+
+    print()
+    print(
+        format_table(
+            [
+                "System",
+                "load (sim s)",
+                f"{workload.name} (sim s)",
+                "WA",
+                "cache hits",
+                "device writes",
+                "block comp.",
+                "table comp.",
+            ],
+            rows,
+            title=f"YCSB {workload.name} shootout ({paper_gb} paper-GB)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

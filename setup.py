@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+This environment has no ``wheel`` package (offline), so PEP 660 editable
+installs fail; ``pip install -e . --no-build-isolation`` falls back to the
+legacy ``setup.py develop`` path through this file.  All real metadata lives
+in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

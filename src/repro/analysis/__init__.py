@@ -1,0 +1,19 @@
+"""Analytic models from the paper (Section III-D)."""
+
+from .cost_model import (
+    PaperExample,
+    block_beats_table,
+    crossover_kv_size,
+    num_levels,
+    write_cost_block,
+    write_cost_table,
+)
+
+__all__ = [
+    "PaperExample",
+    "block_beats_table",
+    "crossover_kv_size",
+    "num_levels",
+    "write_cost_block",
+    "write_cost_table",
+]

@@ -1,0 +1,13 @@
+"""Competitor systems: LevelDB/RocksDB/BlockDB presets and the L2SM engine."""
+
+from .l2sm import L2SMDB, LogEntry
+from .presets import blockdb, l2sm_options, leveldb_like, rocksdb_like
+
+__all__ = [
+    "L2SMDB",
+    "LogEntry",
+    "blockdb",
+    "l2sm_options",
+    "leveldb_like",
+    "rocksdb_like",
+]

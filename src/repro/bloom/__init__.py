@@ -1,0 +1,6 @@
+"""Bloom filters: fixed, and reserved-bits appendable (paper Section IV-D)."""
+
+from .bloom import BloomFilter, probes_for_bits_per_key
+from .reserved import ReservedBloomFilter, build_filter
+
+__all__ = ["BloomFilter", "ReservedBloomFilter", "build_filter", "probes_for_bits_per_key"]

@@ -1,0 +1,7 @@
+"""Caches: charge-aware LRU, block cache, table cache."""
+
+from .block_cache import BlockCache
+from .lru import LRUCache, LRUStats
+from .table_cache import TableCache, TableCacheMemory
+
+__all__ = ["BlockCache", "LRUCache", "LRUStats", "TableCache", "TableCacheMemory"]

@@ -1,0 +1,64 @@
+"""Block cache.
+
+Caches *parsed* data blocks keyed by ``(file_number, block_offset)``.  The
+key structure is the heart of the paper's cache-invalidation story:
+
+* **Table Compaction** writes new files with new file numbers, so every
+  cached block of the merged SSTables becomes dead — the engine invalidates
+  them when the old files are dropped, and re-reads repopulate the cache
+  (the block-cache invalidation problem, Fig 14).
+* **Block Compaction** keeps the file and the offsets of clean blocks, so
+  their cache entries stay valid across the compaction; only dirty blocks'
+  entries die.
+"""
+
+from __future__ import annotations
+
+from ..sstable.block import DataBlock
+from .lru import LRUCache, LRUStats
+
+
+class BlockCache:
+    """LRU over parsed data blocks, charged by serialized block size."""
+
+    def __init__(self, capacity_bytes: int):
+        self._lru = LRUCache(capacity_bytes)
+
+    @property
+    def capacity(self) -> int:
+        return self._lru.capacity
+
+    @property
+    def usage(self) -> int:
+        return self._lru.usage
+
+    @property
+    def stats(self) -> LRUStats:
+        return self._lru.stats
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def get(self, file_number: int, offset: int) -> DataBlock | None:
+        return self._lru.get((file_number, offset))
+
+    def insert(self, file_number: int, offset: int, block: DataBlock) -> None:
+        self._lru.insert((file_number, offset), block, charge=block.memory_bytes())
+
+    def invalidate_file(self, file_number: int) -> int:
+        """Drop every block of ``file_number`` (table-compacted or deleted
+        file).  Returns the number of entries invalidated."""
+        return self._lru.invalidate_where(lambda key: key[0] == file_number)
+
+    def invalidate_blocks(self, file_number: int, offsets: set[int]) -> int:
+        """Drop specific blocks of ``file_number`` (the dirty blocks a Block
+        Compaction rewrote).  Clean blocks stay cached."""
+        return self._lru.invalidate_where(
+            lambda key: key[0] == file_number and key[1] in offsets
+        )
+
+    def clear(self) -> None:
+        self._lru.clear()
+
+    def hit_rate(self) -> float:
+        return self._lru.hit_rate()

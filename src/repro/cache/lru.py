@@ -1,0 +1,127 @@
+"""A charge-aware LRU cache.
+
+Entries carry an explicit *charge* (bytes), so capacity is a byte budget
+rather than an entry count.  Used by both the block cache (charge =
+serialized block size) and the table cache (charge = 1 per open table).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, Iterator
+
+
+@dataclass
+class LRUStats:
+    """Hit/miss/eviction/invalidation counters for one cache."""
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    #: Entries removed because their backing object was destroyed (e.g. an
+    #: SSTable deleted by Table Compaction) rather than by capacity pressure.
+    invalidations: int = 0
+
+
+class LRUCache:
+    """Least-recently-used cache with per-entry charges."""
+
+    def __init__(self, capacity: int, on_evict: Callable[[Hashable, Any], None] | None = None):
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self.capacity = capacity
+        self._entries: OrderedDict[Hashable, tuple[Any, int]] = OrderedDict()
+        self._usage = 0
+        self._on_evict = on_evict
+        self.stats = LRUStats()
+        # Concurrent readers share the cache (the paper's 16-thread
+        # workloads); OrderedDict mutation needs the lock.
+        self._lock = threading.RLock()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    @property
+    def usage(self) -> int:
+        """Sum of charges currently held."""
+        return self._usage
+
+    def get(self, key: Hashable) -> Any | None:
+        """Return the cached value (refreshing recency) or None on miss."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry[0]
+
+    def peek(self, key: Hashable) -> Any | None:
+        """Return the cached value without touching recency or stats."""
+        with self._lock:
+            entry = self._entries.get(key)
+            return None if entry is None else entry[0]
+
+    def insert(self, key: Hashable, value: Any, charge: int = 1) -> None:
+        """Insert (or replace) ``key``, evicting LRU entries to fit."""
+        if charge < 0:
+            raise ValueError("charge must be >= 0")
+        with self._lock:
+            if key in self._entries:
+                self._remove(key, invalidation=False, count_eviction=False)
+            # An entry larger than the whole cache is simply not retained.
+            if charge > self.capacity:
+                return
+            self._entries[key] = (value, charge)
+            self._usage += charge
+            self.stats.insertions += 1
+            while self._usage > self.capacity and self._entries:
+                oldest = next(iter(self._entries))
+                self._remove(oldest, invalidation=False, count_eviction=True)
+
+    def erase(self, key: Hashable) -> bool:
+        """Remove ``key`` if present; returns whether it was present."""
+        with self._lock:
+            if key not in self._entries:
+                return False
+            self._remove(key, invalidation=False, count_eviction=False)
+            return True
+
+    def invalidate_where(self, predicate: Callable[[Hashable], bool]) -> int:
+        """Remove every entry whose key satisfies ``predicate``; returns the
+        number removed.  Counted as invalidations, not evictions."""
+        with self._lock:
+            doomed = [k for k in self._entries if predicate(k)]
+            for key in doomed:
+                self._remove(key, invalidation=True, count_eviction=False)
+            return len(doomed)
+
+    def clear(self) -> None:
+        with self._lock:
+            for key in list(self._entries):
+                self._remove(key, invalidation=False, count_eviction=False)
+
+    def keys(self) -> Iterator[Hashable]:
+        with self._lock:
+            return iter(list(self._entries.keys()))
+
+    def _remove(self, key: Hashable, *, invalidation: bool, count_eviction: bool) -> None:
+        value, charge = self._entries.pop(key)
+        self._usage -= charge
+        if invalidation:
+            self.stats.invalidations += 1
+        if count_eviction:
+            self.stats.evictions += 1
+        if self._on_evict is not None:
+            self._on_evict(key, value)
+
+    def hit_rate(self) -> float:
+        total = self.stats.hits + self.stats.misses
+        return self.stats.hits / total if total else 0.0

@@ -1,0 +1,99 @@
+"""Table cache.
+
+Caches open :class:`~repro.sstable.table_reader.TableReader` handles keyed
+by file number, bounding how many SSTables are open at once (LevelDB's
+``max_open_files``).  While a table is cached, its index block and bloom
+filter are memory-resident — :meth:`memory_cost` reports that footprint,
+split into index vs filter bytes, which is what the paper's Fig 15 compares
+across systems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..options import Options
+from ..storage.fs import FileSystem
+from ..sstable.table_reader import TableReader
+from .lru import LRUCache, LRUStats
+
+
+@dataclass
+class TableCacheMemory:
+    """Resident metadata footprint of all cached tables."""
+
+    index_bytes: int = 0
+    filter_bytes: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.index_bytes + self.filter_bytes
+
+
+class TableCache:
+    """LRU of open table readers (charge = 1 per table)."""
+
+    def __init__(self, fs: FileSystem, options: Options):
+        self._fs = fs
+        self._options = options
+        self._lru = LRUCache(
+            options.table_cache_capacity,
+            on_evict=lambda _key, reader: reader.close(),
+        )
+
+    @property
+    def stats(self) -> LRUStats:
+        return self._lru.stats
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def get(
+        self, file_number: int, file_name: str, load_category: str | None = None
+    ) -> TableReader:
+        """Return an open reader for the file, opening it on a miss.
+
+        ``load_category`` directs where a cache-miss's metadata-load I/O is
+        charged — compactions warm their outputs eagerly (LevelDB's
+        table-usability check) so the cost lands on the background category
+        rather than the first unlucky foreground read.
+        """
+        reader = self._lru.get(file_number)
+        if reader is None:
+            if load_category is None:
+                reader = TableReader(self._fs, file_name, file_number, self._options)
+            else:
+                reader = TableReader(
+                    self._fs, file_name, file_number, self._options, load_category
+                )
+            self._lru.insert(file_number, reader, charge=1)
+        return reader
+
+    def reload(self, file_number: int) -> None:
+        """Refresh cached metadata after an in-place append.
+
+        Block Compaction rewrites a file's index/filter/footer; a cached
+        reader must re-read them or it would keep serving the stale section.
+        """
+        reader = self._lru.peek(file_number)
+        if reader is not None:
+            reader.reload()
+
+    def evict(self, file_number: int) -> None:
+        """Close and drop the reader for a deleted file."""
+        self._lru.erase(file_number)
+
+    def memory_cost(self) -> TableCacheMemory:
+        """Index/filter bytes held by all cached tables (Fig 15)."""
+        memory = TableCacheMemory()
+        for file_number in self._lru.keys():
+            reader = self._lru.peek(file_number)
+            if reader is None:
+                continue
+            index_bytes, filter_bytes = reader.metadata_memory_bytes()
+            memory.index_bytes += index_bytes
+            memory.filter_bytes += filter_bytes
+        return memory
+
+    def close(self) -> None:
+        self._lru.clear()

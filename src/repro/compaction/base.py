@@ -1,0 +1,166 @@
+"""Shared compaction infrastructure.
+
+Compaction implementations are module-level functions over a narrow
+:class:`CompactionEnv` protocol (implemented by the DB), so the schemes —
+Table, Block, Selective — are independently testable and the DB stays a thin
+coordinator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Protocol
+
+from ..cache.block_cache import BlockCache
+from ..cache.table_cache import TableCache
+from ..keys import (
+    TYPE_DELETION,
+    ComparableKey,
+    comparable_parts,
+    comparable_to_internal,
+)
+from ..core.snapshot import VersionKeeper
+from ..metrics.stats import DBStats
+from ..options import Options
+from ..storage.fs import FileSystem
+from ..storage.io_stats import CAT_COMPACTION
+from ..core.version import FileMetadata, Version, VersionEdit
+
+
+class CompactionEnv(Protocol):
+    """What a compaction needs from the engine."""
+
+    fs: FileSystem
+    options: Options
+    table_cache: TableCache
+    block_cache: BlockCache
+    version: Version
+    stats: DBStats
+
+    def new_file_number(self) -> int: ...
+
+    def snapshot_boundaries(self) -> list[int]: ...
+
+
+@dataclass
+class CompactionTask:
+    """A unit of compaction work: parent inputs against child inputs."""
+
+    parent_level: int
+    parent_files: list[FileMetadata]
+    child_files: list[FileMetadata]
+    reason: str = "size"  # 'size' | 'seek' | 'manual'
+
+    @property
+    def child_level(self) -> int:
+        return self.parent_level + 1
+
+    def input_bytes(self) -> int:
+        return sum(f.file_size for f in self.parent_files + self.child_files)
+
+    def key_range(self) -> tuple[bytes, bytes]:
+        """User-key span of all inputs."""
+        files = self.parent_files + self.child_files
+        lo = min(f.smallest_user_key for f in files)
+        hi = max(f.largest_user_key for f in files)
+        return lo, hi
+
+
+@dataclass
+class CompactionResult:
+    """Outcome applied by the DB: a version edit plus files to retire."""
+
+    edit: VersionEdit = field(default_factory=VersionEdit)
+    obsolete_files: list[FileMetadata] = field(default_factory=list)
+    bytes_read: int = 0
+    bytes_written: int = 0
+    output_files: int = 0
+    kind: str = "table"
+    #: Sub-task mix for selective compactions.
+    table_subtasks: int = 0
+    block_subtasks: int = 0
+
+
+def table_entry_stream(
+    env: CompactionEnv, meta: FileMetadata
+) -> Iterator[tuple[ComparableKey, bytes]]:
+    """Full sequential scan of one SSTable for merging (no block cache:
+    compaction reads must not pollute it, matching LevelDB)."""
+    reader = env.table_cache.get(meta.file_number, meta.file_name())
+    return reader.entries_from(category=CAT_COMPACTION, sequential=True)
+
+
+def make_tombstone_dropper(
+    env: CompactionEnv, child_level: int, lo: bytes, hi: bytes
+) -> Callable[[bytes], bool]:
+    """A predicate deciding whether a tombstone for ``user_key`` can be
+    dropped: true iff no level deeper than ``child_level`` can contain the
+    key.  Computed once per compaction over the input range."""
+    if env.version.is_key_range_absent_below(child_level, lo, hi):
+        return lambda _user_key: True
+
+    def check(user_key: bytes) -> bool:
+        for deeper in range(child_level + 1, env.version.num_levels):
+            if env.version.file_for_key(deeper, user_key) is not None:
+                return False
+        return True
+
+    return check
+
+
+def merge_keep_newest(
+    sources: list[Iterator[tuple[ComparableKey, bytes]]],
+    boundaries: list[int] | None = None,
+) -> Iterator[tuple[ComparableKey, bytes]]:
+    """Merge sorted streams keeping the newest version per user key — per
+    snapshot stratum, tombstones included.
+
+    This is the parent-side preparation for Block Compaction: tombstones
+    must survive this stage because they may shadow entries living in the
+    child SSTable's data blocks (dropping them early would resurrect those
+    values).
+    """
+    import heapq
+
+    keeper = VersionKeeper(boundaries or [])
+    merged = heapq.merge(*sources) if len(sources) != 1 else iter(sources[0])
+    last_user_key: bytes | None = None
+    for comparable, value in merged:
+        user_key, sequence, _value_type = comparable_parts(comparable)
+        if user_key != last_user_key:
+            keeper.new_key()
+            last_user_key = user_key
+        if keeper.keep(sequence):
+            yield comparable, value
+
+
+def merge_live(
+    sources: list[Iterator[tuple[ComparableKey, bytes]]],
+    can_drop_tombstone: Callable[[bytes], bool],
+    boundaries: list[int] | None = None,
+) -> Iterator[tuple[bytes, bytes, bool]]:
+    """Merge sorted streams keeping, per user key, the newest version of
+    every snapshot stratum (see :class:`~repro.core.snapshot.VersionKeeper`).
+
+    Yields ``(internal_key, value, is_tombstone)``.  A tombstone is dropped
+    only when no live snapshot can see beneath it *and* no deeper level may
+    hold the key; otherwise it passes through and keeps shadowing.
+    """
+    import heapq
+
+    keeper = VersionKeeper(boundaries or [])
+    merged = heapq.merge(*sources) if len(sources) != 1 else iter(sources[0])
+    last_user_key: bytes | None = None
+    for comparable, value in merged:
+        user_key, sequence, value_type = comparable_parts(comparable)
+        if user_key != last_user_key:
+            keeper.new_key()
+            last_user_key = user_key
+        if not keeper.keep(sequence):
+            continue  # shadowed within its stratum
+        if value_type == TYPE_DELETION:
+            if keeper.tombstone_unprotected(sequence) and can_drop_tombstone(user_key):
+                continue
+            yield comparable_to_internal(comparable), b"", True
+        else:
+            yield comparable_to_internal(comparable), value, False

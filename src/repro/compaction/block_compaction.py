@@ -1,0 +1,328 @@
+"""Block Compaction — the paper's core contribution (Section III).
+
+Instead of rewriting whole SSTables, a Block Compaction walks the child
+SSTable's *extended index*, classifies each data block as clean or dirty
+against the selected (parent) SSTable's keys, and:
+
+* **clean blocks** are reused verbatim — their index entries are copied into
+  the new index and their bytes are never touched (nor their block-cache
+  entries invalidated);
+* **dirty blocks** are read (concurrently — Algorithm 3), merged with the
+  parent keys falling inside their range (Algorithm 2, ``UpdateBlock``), and
+  the merged entries are appended as new blocks at the SSTable's tail;
+* **gap keys** — parent keys not covered by any block — become new data
+  blocks directly, without rewriting anything (the key "51"/"60" case of
+  Fig 2).
+
+The result is an in-place metadata update of the child file: it grows at
+the tail, its valid-byte count changes, and superseded blocks become
+obsolete bytes until a later Table Compaction collects them.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from ..core.snapshot import VersionKeeper
+from ..core.version import FileMetadata, clone_metadata
+from ..keys import (
+    TYPE_DELETION,
+    ComparableKey,
+    comparable_parts,
+    comparable_to_internal,
+)
+from ..sstable.index import IndexBlock, IndexEntry
+from ..sstable.table_appender import AppendSession
+from ..sstable.table_reader import TableReader
+from ..storage.io_stats import CAT_COMPACTION
+from .base import (
+    CompactionEnv,
+    CompactionResult,
+    CompactionTask,
+    make_tombstone_dropper,
+    merge_keep_newest,
+    table_entry_stream,
+)
+
+ParentEntry = tuple[ComparableKey, bytes]
+
+
+@dataclass
+class DirtyBlockScan:
+    """Result of ``FindDirtyBlocks`` (Algorithm 3)."""
+
+    dirty_entries: list[IndexEntry] = field(default_factory=list)
+    dirty_bytes: int = 0
+
+    def dirty_ratio(self, valid_bytes: int) -> float:
+        """Fraction of the SSTable's valid bytes that must be rewritten."""
+        if valid_bytes <= 0:
+            return 1.0
+        return min(1.0, self.dirty_bytes / valid_bytes)
+
+
+def find_dirty_blocks(parent_user_keys: list[bytes], index: IndexBlock) -> DirtyBlockScan:
+    """Algorithm 3: which blocks does the parent key stream touch?
+
+    A block is dirty when at least one parent key falls inside its key
+    range.  Pure index walk — no data I/O; this is what makes Selective
+    Compaction's up-front decision cheap.
+    """
+    scan = DirtyBlockScan()
+    i = 0
+    n = len(parent_user_keys)
+    for entry in index.entries:
+        # Step 1/2 of Algorithm 3: skip blocks entirely below the cursor key
+        # and keys entirely below the block.
+        while i < n and parent_user_keys[i] < entry.smallest_user_key:
+            i += 1
+        if i >= n:
+            break
+        if parent_user_keys[i] <= entry.largest_user_key:
+            scan.dirty_entries.append(entry)
+            scan.dirty_bytes += entry.size
+            while i < n and parent_user_keys[i] <= entry.largest_user_key:
+                i += 1
+    return scan
+
+
+@dataclass
+class BlockCompactionFileStats:
+    """Per-child-file outcome, used by tests and the experiment reports."""
+
+    clean_blocks: int = 0
+    dirty_blocks: int = 0
+    new_blocks: int = 0
+    appended_bytes: int = 0
+    filter_rebuilt: bool = False
+
+
+def _update_block(
+    session: AppendSession,
+    parent_entries: list[ParentEntry],
+    block_entries: Iterator[tuple[ComparableKey, bytes]],
+    can_drop_tombstone: Callable[[bytes], bool],
+    boundaries: list[int],
+) -> None:
+    """Algorithm 2: merge-sort parent keys into one dirty block's entries.
+
+    Comparable-key order puts the parent's (newer) versions of a user key
+    first; the :class:`VersionKeeper` retains the newest version per
+    snapshot stratum, so parent tombstones shadow child values without
+    breaking live snapshots.
+    """
+    keeper = VersionKeeper(boundaries)
+    merged = heapq.merge(iter(parent_entries), block_entries)
+    last_user_key: bytes | None = None
+    for comparable, value in merged:
+        user_key, sequence, value_type = comparable_parts(comparable)
+        if user_key != last_user_key:
+            keeper.new_key()
+            last_user_key = user_key
+        if not keeper.keep(sequence):
+            continue
+        if (
+            value_type == TYPE_DELETION
+            and keeper.tombstone_unprotected(sequence)
+            and can_drop_tombstone(user_key)
+        ):
+            continue
+        session.add(comparable_to_internal(comparable), value)
+
+
+def block_compact_file(
+    env: CompactionEnv,
+    parent_slice: list[ParentEntry],
+    child_meta: FileMetadata,
+    child_level: int,
+    *,
+    scan: DirtyBlockScan | None = None,
+) -> tuple[FileMetadata, BlockCompactionFileStats]:
+    """Algorithm 1: merge ``parent_slice`` into ``child_meta`` in place.
+
+    Returns the child file's updated metadata plus per-file statistics.
+    ``scan`` may carry a pre-computed ``FindDirtyBlocks`` result (Selective
+    Compaction already ran it to make its decision).
+    """
+    reader: TableReader = env.table_cache.get(child_meta.file_number, child_meta.file_name())
+    parent_user_keys = [ck[0] for ck, _ in parent_slice]
+    if scan is None:
+        scan = find_dirty_blocks(parent_user_keys, reader.index)
+
+    # Algorithm 3's payoff: fetch all dirty blocks with concurrent random
+    # reads before the merge walk.
+    dirty_offsets = {e.offset for e in scan.dirty_entries}
+    dirty_blocks = {}
+    if scan.dirty_entries:
+        blocks = reader.read_blocks_concurrently(
+            scan.dirty_entries,
+            category=CAT_COMPACTION,
+            concurrency=env.options.dirty_block_read_parallelism,
+        )
+        dirty_blocks = {e.offset: b for e, b in zip(scan.dirty_entries, blocks)}
+
+    lo = min(
+        (child_meta.smallest_user_key, parent_user_keys[0])
+        if parent_user_keys
+        else (child_meta.smallest_user_key,)
+    )
+    hi = max(
+        (child_meta.largest_user_key, parent_user_keys[-1])
+        if parent_user_keys
+        else (child_meta.largest_user_key,)
+    )
+    can_drop = make_tombstone_dropper(env, child_level, lo, hi)
+
+    session = AppendSession(env.fs, reader, env.options, child_level)
+    stats = BlockCompactionFileStats(dirty_blocks=len(scan.dirty_entries))
+    boundaries = env.snapshot_boundaries()
+    gap_keeper = VersionKeeper(boundaries)
+
+    def emit_parent(comparable: ComparableKey, value: bytes) -> None:
+        """Write one gap entry (a parent key covered by no block).
+
+        The parent slice is already stratum-filtered upstream; only the
+        tombstone rule needs re-checking here."""
+        user_key, sequence, value_type = comparable_parts(comparable)
+        if (
+            value_type == TYPE_DELETION
+            and gap_keeper.tombstone_unprotected(sequence)
+            and can_drop(user_key)
+        ):
+            return
+        session.add(comparable_to_internal(comparable), value)
+
+    i = 0
+    n = len(parent_slice)
+    for entry in reader.index.entries:
+        # Step 3 of Algorithm 1: parent keys below this block form new blocks.
+        while i < n and parent_slice[i][0][0] < entry.smallest_user_key:
+            emit_parent(*parent_slice[i])
+            i += 1
+        if entry.offset in dirty_offsets:
+            # Step 4: rewrite the dirty block merged with its parent keys.
+            j = i
+            while j < n and parent_slice[j][0][0] <= entry.largest_user_key:
+                j += 1
+            _update_block(
+                session,
+                parent_slice[i:j],
+                dirty_blocks[entry.offset].entries(),
+                can_drop,
+                boundaries,
+            )
+            i = j
+        else:
+            # Step 2: clean block — reuse its index entry, zero I/O.
+            session.reuse(entry)
+            stats.clean_blocks += 1
+    while i < n:
+        emit_parent(*parent_slice[i])
+        i += 1
+
+    result = session.finish()
+    stats.new_blocks = len(result.index.entries) - stats.clean_blocks
+    stats.appended_bytes = result.bytes_written
+    stats.filter_rebuilt = session.filter_rebuilt
+    if session.filter_rebuilt:
+        env.stats.filter_rebuilds += 1
+    else:
+        env.stats.filter_absorbs += 1
+
+    # Dirty blocks died; clean blocks stay valid in the block cache — the
+    # cache-friendliness the paper measures in Fig 14.
+    env.block_cache.invalidate_blocks(child_meta.file_number, dirty_offsets)
+    env.table_cache.reload(child_meta.file_number)
+
+    new_meta = clone_metadata(
+        child_meta,
+        file_size=result.file_size,
+        valid_bytes=result.valid_bytes,
+        num_entries=result.num_entries,
+        smallest=result.smallest,
+        largest=result.largest,
+        append_count=child_meta.append_count + 1,
+    )
+    return new_meta, stats
+
+
+def apply_block_update(
+    result: CompactionResult, child_level: int, old_meta: FileMetadata, new_meta: FileMetadata
+) -> None:
+    """Fold one per-file outcome into the task result.
+
+    A file left with zero live entries (every key tombstoned away) is
+    deleted rather than updated — an empty index has no bounds to keep.
+    """
+    if new_meta.num_entries == 0 or new_meta.smallest is None:
+        result.edit.deleted_files.append((child_level, old_meta.file_number))
+        result.obsolete_files.append(old_meta)
+    else:
+        result.edit.updated_files.append((child_level, new_meta))
+        result.output_files += 1
+
+
+def partition_parent_slices(
+    parent_entries: list[ParentEntry], child_files: list[FileMetadata]
+) -> list[list[ParentEntry]]:
+    """Route each parent entry to exactly one child SSTable.
+
+    Child file *i* owns every key below child file *i+1*'s smallest key; the
+    last file owns everything above.  Keys below the first file's range are
+    appended to the first file as new blocks (they precede its blocks in the
+    rebuilt index), keeping the level's files disjoint without creating tiny
+    new SSTables.
+    """
+    if not child_files:
+        raise ValueError("partitioning requires at least one child file")
+    slices: list[list[ParentEntry]] = [[] for _ in child_files]
+    boundaries = [f.smallest_user_key for f in child_files[1:]]
+    cursor = 0
+    for entry in parent_entries:
+        user_key = entry[0][0]
+        while cursor < len(boundaries) and user_key >= boundaries[cursor]:
+            cursor += 1
+        slices[cursor].append(entry)
+    return slices
+
+
+def collect_parent_entries(env: CompactionEnv, task: CompactionTask) -> list[ParentEntry]:
+    """Materialize the parent files' newest-version entry list (tombstones
+    preserved — see :func:`merge_keep_newest`)."""
+    sources = [table_entry_stream(env, f) for f in task.parent_files]
+    return list(merge_keep_newest(sources, env.snapshot_boundaries()))
+
+
+def run_block_compaction(env: CompactionEnv, task: CompactionTask) -> CompactionResult:
+    """Drive Block Compaction for a whole task (one parent file against all
+    of its overlapped child SSTables)."""
+    if not task.child_files:
+        raise ValueError("block compaction requires overlapped child files")
+    write_start = env.fs.stats.per_category[CAT_COMPACTION].bytes_written
+    read_start = env.fs.stats.per_category[CAT_COMPACTION].bytes_read
+
+    parent_entries = collect_parent_entries(env, task)
+    slices = partition_parent_slices(parent_entries, task.child_files)
+
+    result = CompactionResult(kind="block")
+    for child_meta, parent_slice in zip(task.child_files, slices):
+        if not parent_slice:
+            continue
+        new_meta, _stats = block_compact_file(env, parent_slice, child_meta, task.child_level)
+        apply_block_update(result, task.child_level, child_meta, new_meta)
+
+    env.fs.stats.charge_time(
+        env.fs.device.merge_cpu_cost(sum(f.file_size for f in task.parent_files)),
+        CAT_COMPACTION,
+    )
+    for meta in task.parent_files:
+        result.edit.deleted_files.append((task.parent_level, meta.file_number))
+    result.obsolete_files.extend(task.parent_files)
+
+    result.bytes_written = (
+        env.fs.stats.per_category[CAT_COMPACTION].bytes_written - write_start
+    )
+    result.bytes_read = env.fs.stats.per_category[CAT_COMPACTION].bytes_read - read_start
+    return result

@@ -1,0 +1,66 @@
+"""Parallel Merging (paper Section IV-B).
+
+A compaction task splits into independent sub-tasks, one per overlapped
+child SSTable (the partitioned parent slices touch disjoint key ranges and
+disjoint files).  The paper executes sub-tasks on a worker thread pool; this
+engine executes them *deterministically in sequence* while charging
+simulated time as if a pool of ``compaction_workers`` ran them in parallel:
+
+1. each sub-task runs serially and its simulated-time cost is measured;
+2. the costs are scheduled onto the workers longest-processing-time-first;
+3. the difference between the serial total and the resulting makespan is
+   rebated from the simulated clock.
+
+This keeps runs reproducible (no thread scheduling nondeterminism) while
+making the running-time figures reflect the optimization, which is how the
+paper's speedups manifest.  ``makespan`` is exposed separately so tests can
+validate the scheduling itself.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..storage.io_stats import CAT_COMPACTION, IOStats
+
+
+def lpt_makespan(durations: list[float], workers: int) -> float:
+    """Longest-processing-time-first makespan of ``durations`` on
+    ``workers`` identical workers (a 4/3-approximation of optimal, and the
+    natural model of a greedy thread pool fed from a task queue)."""
+    if not durations:
+        return 0.0
+    if workers <= 1:
+        return sum(durations)
+    loads = [0.0] * workers
+    for duration in sorted(durations, reverse=True):
+        loads[loads.index(min(loads))] += duration
+    return max(loads)
+
+
+class SubtaskScheduler:
+    """Runs sub-task closures, charging parallel (makespan) time."""
+
+    def __init__(self, stats: IOStats, workers: int, enabled: bool):
+        self._stats = stats
+        self._workers = max(1, workers)
+        self._enabled = enabled and workers > 1
+        self.last_durations: list[float] = []
+        self.last_rebate: float = 0.0
+
+    def run(self, subtasks: list[Callable[[], None]]) -> None:
+        """Execute every sub-task; rebate serial-minus-makespan time."""
+        if not self._enabled or len(subtasks) <= 1:
+            for subtask in subtasks:
+                subtask()
+            return
+        durations: list[float] = []
+        for subtask in subtasks:
+            before = self._stats.sim_time_s
+            subtask()
+            durations.append(max(0.0, self._stats.sim_time_s - before))
+        serial_total = sum(durations)
+        makespan = lpt_makespan(durations, self._workers)
+        self.last_durations = durations
+        self.last_rebate = max(0.0, serial_total - makespan)
+        self._stats.rebate_time(self.last_rebate, CAT_COMPACTION)

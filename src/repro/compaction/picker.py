@@ -1,0 +1,133 @@
+"""Compaction picking: what to compact next, and why.
+
+Follows LevelDB's policy:
+
+* **Size-triggered**: each level gets a score — L0 by file count against the
+  trigger, deeper levels by live bytes against the exponential capacity.
+  The highest score >= 1 wins.  Within a level, files are selected
+  round-robin by a per-level *compact pointer* (the key where the previous
+  compaction at that level stopped).
+* **Seek-triggered** (LevelDB's seek compaction, which Section V-G shows
+  matters for range scans): every file carries an ``allowed_seeks`` budget;
+  lookups that touch a file fruitlessly decrement it, and a file whose
+  budget hits zero is compacted into the next level.
+
+L0 input selection expands to the transitive closure of overlapping L0
+files, since L0 files may overlap one another.
+"""
+
+from __future__ import annotations
+
+from ..core.version import FileMetadata, Version
+from ..options import Options
+from .base import CompactionTask
+
+
+class CompactionPicker:
+    """Stateful picker: owns the per-level compact pointers."""
+
+    def __init__(self, options: Options):
+        self._options = options
+        self.compact_pointer: list[bytes] = [b""] * options.max_levels
+        #: Files flagged by the read path for seek compaction.
+        self._seek_candidates: dict[int, int] = {}  # file_number -> level
+
+    # -- seek compaction feedback -----------------------------------------------
+
+    def note_seek_exhausted(self, level: int, meta: FileMetadata) -> None:
+        """Read path callback: ``meta``'s seek budget ran out."""
+        if self._options.enable_seek_compaction and level < self._options.max_levels - 1:
+            self._seek_candidates.setdefault(meta.file_number, level)
+
+    def forget_file(self, file_number: int) -> None:
+        self._seek_candidates.pop(file_number, None)
+
+    @property
+    def seek_candidates(self) -> dict[int, int]:
+        return dict(self._seek_candidates)
+
+    # -- scoring ------------------------------------------------------------------
+
+    def level_score(self, version: Version, level: int) -> float:
+        if level == 0:
+            return len(version.files_at(0)) / self._options.level0_file_trigger()
+        capacity = self._options.level_capacity_bytes(level)
+        return version.level_valid_bytes(level) / capacity if capacity else 0.0
+
+    def pick(self, version: Version) -> CompactionTask | None:
+        """The next compaction task, or None when nothing is due."""
+        best_level = -1
+        best_score = 1.0
+        # The bottom level has no child to compact into.
+        for level in range(version.num_levels - 1):
+            score = self.level_score(version, level)
+            if score >= best_score:
+                best_score = score
+                best_level = level
+        if best_level >= 0:
+            return self._setup_task(version, best_level, reason="size")
+        return self._pick_seek_compaction(version)
+
+    def _pick_seek_compaction(self, version: Version) -> CompactionTask | None:
+        for file_number, level in list(self._seek_candidates.items()):
+            for meta in version.files_at(level):
+                if meta.file_number == file_number:
+                    del self._seek_candidates[file_number]
+                    return self._build_task(version, level, [meta], reason="seek")
+            # The file was compacted away in the meantime.
+            del self._seek_candidates[file_number]
+        return None
+
+    # -- input selection -------------------------------------------------------------
+
+    def _setup_task(self, version: Version, level: int, reason: str) -> CompactionTask:
+        if level == 0:
+            parents = self._expand_level0(version)
+        else:
+            parents = [self._round_robin_file(version, level)]
+        return self._build_task(version, level, parents, reason)
+
+    def _round_robin_file(self, version: Version, level: int) -> FileMetadata:
+        """First file past the compact pointer, wrapping (LevelDB policy)."""
+        files = version.files_at(level)
+        pointer = self.compact_pointer[level]
+        for meta in files:
+            if not pointer or meta.largest_user_key > pointer:
+                return meta
+        return files[0]
+
+    def _expand_level0(self, version: Version) -> list[FileMetadata]:
+        """Oldest L0 file plus the transitive closure of L0 overlaps."""
+        files = sorted(version.files_at(0), key=lambda f: f.file_number)
+        chosen = [files[0]]
+        lo, hi = chosen[0].smallest_user_key, chosen[0].largest_user_key
+        changed = True
+        while changed:
+            changed = False
+            for meta in files:
+                if meta in chosen:
+                    continue
+                if meta.overlaps_user_range(lo, hi):
+                    chosen.append(meta)
+                    lo = min(lo, meta.smallest_user_key)
+                    hi = max(hi, meta.largest_user_key)
+                    changed = True
+        return chosen
+
+    def _build_task(
+        self, version: Version, level: int, parents: list[FileMetadata], reason: str
+    ) -> CompactionTask:
+        lo = min(f.smallest_user_key for f in parents)
+        hi = max(f.largest_user_key for f in parents)
+        children = version.overlapping_files(level + 1, lo, hi)
+        return CompactionTask(
+            parent_level=level,
+            parent_files=parents,
+            child_files=children,
+            reason=reason,
+        )
+
+    def advance_pointer(self, task: CompactionTask) -> None:
+        """Record where this compaction ended for round-robin fairness."""
+        hi = max(f.largest_user_key for f in task.parent_files)
+        self.compact_pointer[task.parent_level] = hi

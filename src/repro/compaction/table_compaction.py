@@ -1,0 +1,135 @@
+"""Table Compaction — the conventional SSTable-grained scheme (paper Fig 1).
+
+Reads every input SSTable in full, merge-sorts all key-value pairs, writes a
+fresh run of SSTables at the child level (rotated at the configured SSTable
+size), and retires every input.  This is the LevelDB/RocksDB baseline whose
+write amplification Block Compaction attacks, and it remains the garbage-
+collection / splitting arm of Selective Compaction.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..core.version import FileMetadata, clone_metadata, new_file_metadata
+from ..keys import user_key_of
+from ..sstable.table_builder import TableBuilder
+from ..storage.io_stats import CAT_COMPACTION
+from .base import (
+    CompactionEnv,
+    CompactionResult,
+    CompactionTask,
+    make_tombstone_dropper,
+    merge_live,
+    table_entry_stream,
+)
+
+
+def can_trivially_move(env: CompactionEnv, task: CompactionTask) -> bool:
+    """A single parent file with no child overlap moves by metadata only."""
+    if not env.options.enable_trivial_move:
+        return False
+    return len(task.parent_files) == 1 and not task.child_files
+
+
+def run_trivial_move(env: CompactionEnv, task: CompactionTask) -> CompactionResult:
+    """Re-link the file into the child level: zero I/O (RocksDB's trivial
+    move; the paper notes BlockDB supports it too)."""
+    meta = task.parent_files[0]
+    result = CompactionResult(kind="trivial")
+    result.edit.deleted_files.append((task.parent_level, meta.file_number))
+    result.edit.new_files.append((task.child_level, clone_metadata(meta)))
+    return result
+
+
+def build_output_tables(
+    env: CompactionEnv,
+    live_stream: Iterator[tuple[bytes, bytes, bool]],
+    child_level: int,
+) -> list[FileMetadata]:
+    """Serialize a merged live-entry stream into child-level SSTables,
+    rotating output files at the configured SSTable size."""
+    # Rotation never splits one user key's versions across two files (live
+    # snapshots can make several versions survive the merge): level files
+    # must stay disjoint at user-key granularity.
+    outputs: list[FileMetadata] = []
+    builder: TableBuilder | None = None
+    last_user_key: bytes | None = None
+    for internal_key, value, _is_tombstone in live_stream:
+        user_key = user_key_of(internal_key)
+        if (
+            builder is not None
+            and builder.estimated_file_size() >= env.options.sstable_size
+            and user_key != last_user_key
+        ):
+            outputs.append(_finish(env, builder, child_level))
+            builder = None
+        if builder is None:
+            number = env.new_file_number()
+            builder = TableBuilder(
+                env.fs,
+                f"{number:06d}.sst",
+                env.options,
+                child_level,
+                category=CAT_COMPACTION,
+            )
+        builder.add(internal_key, value)
+        last_user_key = user_key
+    if builder is not None and not builder.empty():
+        outputs.append(_finish(env, builder, child_level))
+    return outputs
+
+
+def _finish(env: CompactionEnv, builder: TableBuilder, child_level: int) -> FileMetadata:
+    info = builder.finish()
+    return new_file_metadata(
+        int(info.file_name.split(".")[0]),
+        info,
+        allowed_seeks_divisor=env.options.seek_compaction_bytes_per_seek,
+        min_allowed_seeks=env.options.seek_compaction_min_seeks,
+    )
+
+
+def merged_task_stream(
+    env: CompactionEnv,
+    task: CompactionTask,
+    child_files: list[FileMetadata],
+    parent_sources: list | None = None,
+) -> Iterator[tuple[bytes, bytes, bool]]:
+    """The deduplicated, tombstone-filtered merge of a task's inputs."""
+    if parent_sources is None:
+        parent_sources = [table_entry_stream(env, f) for f in task.parent_files]
+    sources = list(parent_sources) + [table_entry_stream(env, f) for f in child_files]
+    lo, hi = task.key_range()
+    dropper = make_tombstone_dropper(env, task.child_level, lo, hi)
+    return merge_live(sources, dropper, env.snapshot_boundaries())
+
+
+def run_table_compaction(env: CompactionEnv, task: CompactionTask) -> CompactionResult:
+    """Merge all of ``task``'s inputs into fresh child-level SSTables."""
+    inputs = task.parent_files + task.child_files
+    write_start = env.fs.stats.per_category[CAT_COMPACTION].bytes_written
+    read_start = env.fs.stats.per_category[CAT_COMPACTION].bytes_read
+
+    result = CompactionResult(kind="table")
+    outputs = build_output_tables(
+        env, merged_task_stream(env, task, task.child_files), task.child_level
+    )
+    env.fs.stats.charge_time(
+        env.fs.device.merge_cpu_cost(sum(f.file_size for f in inputs)), CAT_COMPACTION
+    )
+
+    for meta in outputs:
+        result.edit.new_files.append((task.child_level, meta))
+    result.output_files = len(outputs)
+    for meta in task.parent_files:
+        result.edit.deleted_files.append((task.parent_level, meta.file_number))
+    for meta in task.child_files:
+        result.edit.deleted_files.append((task.child_level, meta.file_number))
+    result.obsolete_files.extend(inputs)
+
+    result.bytes_written = (
+        env.fs.stats.per_category[CAT_COMPACTION].bytes_written - write_start
+    )
+    result.bytes_read = env.fs.stats.per_category[CAT_COMPACTION].bytes_read - read_start
+    return result

@@ -1,0 +1,921 @@
+"""The database facade — BlockDB and its competitor configurations.
+
+One :class:`DB` class implements the whole engine; the compaction scheme and
+the paper's optimizations are chosen by :class:`~repro.options.Options`
+(see :mod:`repro.baselines.presets` for the LevelDB / RocksDB / BlockDB
+configurations; L2SM subclasses this DB in :mod:`repro.baselines.l2sm`).
+
+Concurrency model: operations execute synchronously on the calling thread —
+a write that fills the memtable performs the flush and any due compactions
+inline before returning.  This keeps runs deterministic; *time* parallelism
+(Parallel Merging, concurrent dirty-block reads) is modelled by the device's
+makespan accounting.  See DESIGN.md §5.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterator
+
+from ..cache.block_cache import BlockCache
+from ..cache.table_cache import TableCache
+from ..compaction.base import CompactionResult, CompactionTask
+from ..compaction.block_compaction import run_block_compaction
+from ..compaction.lazy_deletion import DeletionManager
+from ..compaction.parallel import SubtaskScheduler
+from ..compaction.picker import CompactionPicker
+from ..compaction.selective import run_selective_compaction
+from ..compaction.table_compaction import (
+    can_trivially_move,
+    run_table_compaction,
+    run_trivial_move,
+)
+from ..errors import DBClosedError, InvalidArgumentError, NotFoundError
+from ..keys import ComparableKey, seek_comparable
+from ..memtable.memtable import MemTable
+from ..memtable.wal import WalWriter, read_wal
+from ..metrics.stats import CompactionEvent, DBStats
+from ..options import (
+    COMPACTION_BLOCK,
+    COMPACTION_SELECTIVE,
+    COMPACTION_TABLE,
+    Options,
+)
+from ..storage.fs import FileSystem, SimulatedFS
+from ..storage.io_stats import CAT_COMPACTION, CAT_FLUSH, CAT_GET, CAT_SCAN
+from .flush import flush_memtable
+from .iterator import DBIterator, EntryStream
+from .snapshot import Snapshot, SnapshotRegistry
+from .manifest import (
+    ManifestWriter,
+    read_current,
+    replay_manifest,
+    set_current,
+)
+from .version import FileMetadata, Version, VersionEdit
+from .write_batch import WriteBatch
+
+
+def _log_name(number: int) -> str:
+    return f"{number:06d}.log"
+
+
+class DB:
+    """An LSM-tree key-value store with pluggable compaction.
+
+    >>> db = DB()
+    >>> db.put(b"k", b"v")
+    >>> db.get(b"k")
+    b'v'
+    """
+
+    def __init__(
+        self,
+        fs: FileSystem | None = None,
+        options: Options | None = None,
+        *,
+        seed: int = 0,
+    ):
+        self.options = options or Options()
+        self.options.validate()
+        self.fs = fs if fs is not None else SimulatedFS()
+        self.stats = DBStats()
+        self.stats.ensure_levels(self.options.max_levels)
+        self.block_cache = BlockCache(self.options.block_cache_capacity)
+        self.table_cache = TableCache(self.fs, self.options)
+        self.picker = CompactionPicker(self.options)
+        self.deletion_manager = DeletionManager(
+            self.fs, self.options, self.table_cache, self.block_cache, self.stats
+        )
+        self.version = Version(self.options.max_levels)
+        self.snapshots = SnapshotRegistry()
+        # One coarse engine lock: concurrent readers and a writer may share
+        # the DB (the paper's 16-thread clients); all structural mutation
+        # happens under it.  Reentrant: compactions run inside writes.
+        self._lock = threading.RLock()
+
+        self._seed = seed
+        self._memtable_counter = 0
+        self._sequence = 0
+        self._next_file_number = 1
+        self._manifest: ManifestWriter | None = None
+        self._wal: WalWriter | None = None
+        self._log_number = 0
+        self._closed = False
+
+        self._recover()
+
+    # ------------------------------------------------------------------ setup
+
+    def _new_memtable(self) -> MemTable:
+        self._memtable_counter += 1
+        return MemTable(seed=self._seed + self._memtable_counter)
+
+    def new_file_number(self) -> int:
+        number = self._next_file_number
+        self._next_file_number += 1
+        return number
+
+    def _recover(self) -> None:
+        """Rebuild state from CURRENT/manifest/WAL, or initialize fresh."""
+        self._memtable = self._new_memtable()
+        self._immutable: MemTable | None = None
+
+        current = read_current(self.fs)
+        old_log: str | None = None
+        if current is not None:
+            for edit in replay_manifest(self.fs, current):
+                self.version.apply(edit)
+                if edit.next_file_number is not None:
+                    self._next_file_number = edit.next_file_number
+                if edit.last_sequence is not None:
+                    self._sequence = edit.last_sequence
+                if edit.log_number is not None:
+                    self._log_number = edit.log_number
+                for level, key in edit.compact_pointers:
+                    self.picker.compact_pointer[level] = key
+            if self._log_number and self.fs.exists(_log_name(self._log_number)):
+                old_log = _log_name(self._log_number)
+                for payload in read_wal(self.fs, old_log):
+                    batch, base_sequence = WriteBatch.deserialize(payload)
+                    sequence = base_sequence
+                    for value_type, key, value in batch:
+                        self._memtable.add(sequence, value_type, key, value)
+                        sequence += 1
+                    self._sequence = max(self._sequence, sequence - 1)
+
+        # Entries replayed from the old WAL go straight to an L0 table (as
+        # LevelDB does during recovery) so the old log can be dropped and a
+        # fresh one opened.
+        recovered_file: FileMetadata | None = None
+        if len(self._memtable):
+            self._memtable.freeze()
+            recovered_file = flush_memtable(
+                self.fs, self.options, self._memtable, self.new_file_number()
+            )
+            self._memtable = self._new_memtable()
+
+        # Start a fresh manifest snapshotting the recovered state.
+        manifest_number = self.new_file_number()
+        self._manifest = ManifestWriter(self.fs, manifest_number)
+        self._log_number = self.new_file_number()
+        if self.options.enable_wal:
+            self._wal = WalWriter(self.fs, _log_name(self._log_number))
+        snapshot = VersionEdit(
+            log_number=self._log_number,
+            next_file_number=self._next_file_number,
+            last_sequence=self._sequence,
+            new_files=self.version.all_files(),
+            compact_pointers=[
+                (lv, key)
+                for lv, key in enumerate(self.picker.compact_pointer)
+                if key
+            ],
+        )
+        if recovered_file is not None:
+            self.version.apply(VersionEdit(new_files=[(0, recovered_file)]))
+            snapshot.new_files.append((0, recovered_file))
+        snapshot.next_file_number = self._next_file_number
+        self._manifest.log_edit(snapshot)
+        set_current(self.fs, manifest_number)
+        if old_log is not None and self.fs.exists(old_log):
+            self.fs.delete_file(old_log)
+
+    # ------------------------------------------------------------------ helpers
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise DBClosedError("database is closed")
+
+    @property
+    def io_stats(self):
+        return self.fs.stats
+
+    @property
+    def last_sequence(self) -> int:
+        return self._sequence
+
+    # ------------------------------------------------------------------ snapshots
+
+    def snapshot(self) -> Snapshot:
+        """Pin the current sequence: reads through the returned handle see
+        the database exactly as of now.  Release it promptly — live
+        snapshots force compactions to retain old versions."""
+        self._check_open()
+        with self._lock:
+            snap = Snapshot(self._sequence, self)
+            self.snapshots.pin(snap.sequence)
+            return snap
+
+    def release_snapshot(self, snapshot: Snapshot) -> None:
+        """Unpin ``snapshot`` (idempotent via ``Snapshot.close``)."""
+        with self._lock:
+            self.snapshots.unpin(snapshot.sequence)
+
+    def snapshot_boundaries(self) -> list[int]:
+        """Live pinned sequences, for compaction version retention."""
+        return self.snapshots.boundaries()
+
+    @staticmethod
+    def _resolve_snapshot(snapshot: Snapshot | None, default: int) -> int:
+        if snapshot is None:
+            return default
+        if snapshot.released:
+            raise InvalidArgumentError("snapshot has been released")
+        return snapshot.sequence
+
+    # ------------------------------------------------------------------ writes
+
+    def put(self, key: bytes, value: bytes) -> None:
+        """Insert or update one key."""
+        batch = WriteBatch()
+        batch.put(key, value)
+        self.write(batch)
+
+    def delete(self, key: bytes) -> None:
+        """Delete one key (writes a tombstone)."""
+        batch = WriteBatch()
+        batch.delete(key)
+        self.write(batch)
+
+    def write(self, batch: WriteBatch) -> None:
+        """Apply a batch atomically: WAL record, then memtable."""
+        self._check_open()
+        if len(batch) == 0:
+            return
+        with self._lock:
+            self._write_locked(batch)
+
+    def _write_locked(self, batch: WriteBatch) -> None:
+        if len(self.version.files_at(0)) >= self.options.level0_slowdown_writes_trigger:
+            self.stats.stall_events += 1
+        base_sequence = self._sequence + 1
+        if self._wal is not None:
+            self._wal.add_record(batch.serialize(base_sequence))
+        sequence = base_sequence
+        for value_type, key, value in batch:
+            self._memtable.add(sequence, value_type, key, value)
+            sequence += 1
+            if value_type == 1:
+                self.stats.user_writes += 1
+            else:
+                self.stats.user_deletes += 1
+        self._sequence = sequence - 1
+        self.stats.user_bytes_written += batch.byte_size()
+        self._maybe_flush()
+
+    def _maybe_flush(self) -> None:
+        if self._memtable.approximate_memory_usage() >= self.options.memtable_size:
+            self.flush()
+            self._run_due_compactions()
+
+    def flush(self) -> FileMetadata | None:
+        """Freeze the active memtable and flush it to an L0 SSTable."""
+        self._check_open()
+        with self._lock:
+            return self._flush_locked()
+
+    def _flush_locked(self) -> FileMetadata | None:
+        if len(self._memtable) == 0:
+            return None
+        self._memtable.freeze()
+        self._immutable = self._memtable
+        self._memtable = self._new_memtable()
+
+        # Rotate the WAL with the memtable: the new log only covers the new
+        # memtable, so the old log can go once the flush lands.
+        old_log = _log_name(self._log_number) if self._wal is not None else None
+        if self._wal is not None:
+            self._wal.close()
+            self._log_number = self.new_file_number()
+            self._wal = WalWriter(self.fs, _log_name(self._log_number))
+
+        file_number = self.new_file_number()
+        meta = flush_memtable(
+            self.fs, self.options, self._immutable, file_number, self.snapshot_boundaries()
+        )
+        self._immutable = None
+        if meta is not None:
+            edit = VersionEdit(
+                log_number=self._log_number,
+                next_file_number=self._next_file_number,
+                last_sequence=self._sequence,
+                new_files=[(0, meta)],
+            )
+            self._apply_edit(edit)
+            self.stats.flush_count += 1
+            self.stats.flush_bytes += meta.file_size
+            self.stats.charge_level_write(0, meta.file_size)
+            self.stats.record_event(
+                CompactionEvent(
+                    parent_level=-1,
+                    child_level=0,
+                    kind="flush",
+                    reason="memtable",
+                    bytes_read=0,
+                    bytes_written=meta.file_size,
+                    input_files=0,
+                    output_files=1,
+                )
+            )
+            # Open the new table eagerly; the metadata load belongs to the
+            # flush, not to the first foreground read (see run_compaction).
+            self.table_cache.get(meta.file_number, meta.file_name(), CAT_FLUSH)
+            self._on_flush(meta)
+        if old_log is not None and self.fs.exists(old_log):
+            self.fs.delete_file(old_log)
+        self._observe_space()
+        return meta
+
+    def _apply_edit(self, edit: VersionEdit) -> None:
+        self.version.apply(edit)
+        assert self._manifest is not None
+        self._manifest.log_edit(edit)
+
+    # ------------------------------------------------------------------ compaction
+
+    def _run_due_compactions(self) -> None:
+        """Run compactions until every level is within its trigger."""
+        while True:
+            task = self.picker.pick(self.version)
+            if task is None:
+                break
+            self.run_compaction(task)
+            # Safe point between tasks: no task in flight references any
+            # file, so auxiliary maintenance (L2SM's log drain) may compact.
+            self._post_compaction_maintenance()
+
+    def compaction_style_for(self, task: CompactionTask) -> str:
+        """Which scheme handles ``task`` (overridable hook).
+
+        L0 parents always use Table Compaction: L0 files overlap each other,
+        so block-grained reuse does not apply (paper Section IV-A).
+
+        Seek-triggered compactions also use Table Compaction: they exist to
+        optimize the read path (Section V-G), and appending blocks would
+        leave the merged data physically scattered — the opposite of what a
+        read-triggered reorganization is for.  This matches Selective
+        Compaction's stated goal of keeping lower levels sorted for range
+        queries.
+        """
+        if task.parent_level == 0 or not task.child_files:
+            return COMPACTION_TABLE
+        if task.reason == "seek":
+            return COMPACTION_TABLE
+        return self.options.compaction_style
+
+    def _maybe_divert_task(self, task: CompactionTask) -> CompactionResult | None:
+        """L2SM hook: return a result to bypass normal compaction.
+
+        Implementations must not run further compactions from inside this
+        hook — the in-flight ``task`` still references live files.  Use
+        :meth:`_post_compaction_maintenance` for follow-up work.
+        """
+        return None
+
+    def _post_compaction_maintenance(self) -> None:
+        """Hook called between compaction tasks (no task in flight)."""
+
+    def run_compaction(self, task: CompactionTask) -> CompactionResult:
+        """Execute one compaction task and apply its result."""
+        self._check_open()
+        diverted = self._maybe_divert_task(task)
+        if diverted is not None:
+            result = diverted
+        elif can_trivially_move(self, task) and task.reason != "manual":
+            # Manual compactions force a rewrite (LevelDB's CompactRange
+            # semantics): moving a file wholesale would carry its garbage
+            # (shadowed versions, droppable tombstones) along.
+            result = run_trivial_move(self, task)
+        else:
+            style = self.compaction_style_for(task)
+            if style == COMPACTION_TABLE:
+                result = run_table_compaction(self, task)
+            elif style == COMPACTION_BLOCK:
+                result = run_block_compaction(self, task)
+            elif style == COMPACTION_SELECTIVE:
+                scheduler = SubtaskScheduler(
+                    self.fs.stats,
+                    self.options.compaction_workers,
+                    self.options.parallel_merging,
+                )
+                result = run_selective_compaction(self, task, scheduler)
+            else:  # pragma: no cover - options.validate() rejects this
+                raise InvalidArgumentError(f"unknown style {style!r}")
+
+        # Open the outputs now (LevelDB verifies each new table is usable
+        # right after building it), charging the metadata loads to the
+        # compaction rather than to the first foreground read.
+        for _level, meta in result.edit.new_files:
+            self.table_cache.get(meta.file_number, meta.file_name(), CAT_COMPACTION)
+        for _level, meta in result.edit.updated_files:
+            self.table_cache.get(meta.file_number, meta.file_name(), CAT_COMPACTION)
+
+        self.picker.advance_pointer(task)
+        result.edit.compact_pointers.append(
+            (task.parent_level, self.picker.compact_pointer[task.parent_level])
+        )
+        result.edit.next_file_number = self._next_file_number
+        self._apply_edit(result.edit)
+        for meta in result.obsolete_files:
+            self.picker.forget_file(meta.file_number)
+        self.deletion_manager.retire(result.obsolete_files)
+
+        self.stats.charge_level_write(task.child_level, result.bytes_written)
+        self.stats.record_event(
+            CompactionEvent(
+                parent_level=task.parent_level,
+                child_level=task.child_level,
+                kind=result.kind,
+                reason=task.reason,
+                bytes_read=result.bytes_read,
+                bytes_written=result.bytes_written,
+                input_files=len(task.parent_files) + len(task.child_files),
+                output_files=result.output_files,
+            )
+        )
+        self._observe_space()
+        for level in range(self.version.num_levels):
+            self.stats.observe_obsolete(level, self.version.level_obsolete_bytes(level))
+        if self.options.paranoid_checks:
+            self._verify_catalog()
+        return result
+
+    def _verify_catalog(self) -> None:
+        """Paranoid mode: every live file exists with its recorded size."""
+        for _level, meta in self.version.all_files():
+            name = meta.file_name()
+            if not self.fs.exists(name):
+                raise InvalidArgumentError(f"catalog references missing file {name}")
+            actual = self.fs.file_size(name)
+            if actual != meta.file_size:
+                raise InvalidArgumentError(
+                    f"catalog size mismatch for {name}: recorded "
+                    f"{meta.file_size}, on disk {actual}"
+                )
+
+    def compact_all(self) -> None:
+        """Drain every level into the deepest non-empty level (manual full
+        compaction, used by tests and experiment setup)."""
+        self._check_open()
+        with self._lock:
+            self._compact_all_locked()
+
+    def _compact_all_locked(self) -> None:
+        if len(self._memtable):
+            self.flush()
+        for _pass in range(self.version.num_levels * 4):
+            moved = False
+            for level in range(self.version.num_levels - 1):
+                while self.version.files_at(level):
+                    meta = self.version.files_at(level)[0]
+                    children = self.version.overlapping_files(
+                        level + 1, meta.smallest_user_key, meta.largest_user_key
+                    )
+                    task = CompactionTask(
+                        parent_level=level,
+                        parent_files=[meta],
+                        child_files=children,
+                        reason="manual",
+                    )
+                    self.run_compaction(task)
+                    moved = True
+            if not moved:
+                break
+        self._rewrite_bottom_level()
+
+    def compact_range(self, begin: bytes | None = None, end: bytes | None = None) -> None:
+        """Manually compact every file overlapping ``[begin, end]`` down the
+        tree (LevelDB's ``CompactRange``: None bounds mean open-ended).
+
+        Forces rewrites (no trivial moves), so shadowed versions and
+        droppable tombstones in the range are collected.
+        """
+        self._check_open()
+        with self._lock:
+            self._compact_range_locked(begin, end)
+
+    def _compact_range_locked(self, begin: bytes | None, end: bytes | None) -> None:
+        if len(self._memtable):
+            self.flush()
+        for _pass in range(self.version.num_levels * 4):
+            moved = False
+            for level in range(self.version.num_levels - 1):
+                while True:
+                    overlapping = self.version.overlapping_files(level, begin, end)
+                    if not overlapping:
+                        break
+                    meta = overlapping[0]
+                    children = self.version.overlapping_files(
+                        level + 1, meta.smallest_user_key, meta.largest_user_key
+                    )
+                    task = CompactionTask(
+                        parent_level=level,
+                        parent_files=[meta],
+                        child_files=children,
+                        reason="manual",
+                    )
+                    self.run_compaction(task)
+                    moved = True
+            if not moved:
+                break
+
+    def approximate_size(self, begin: bytes, end: bytes) -> int:
+        """Approximate on-disk bytes of live data in ``[begin, end)``.
+
+        Sums, per overlapping SSTable, the valid bytes of the data blocks
+        whose ranges intersect the interval — metadata only, no data I/O
+        (LevelDB's ``GetApproximateSizes``).
+        """
+        self._check_open()
+        if begin >= end:
+            return 0
+        with self._lock:
+            return self._approximate_size_locked(begin, end)
+
+    def _approximate_size_locked(self, begin: bytes, end: bytes) -> int:
+        total = 0
+        for level in range(self.version.num_levels):
+            for meta in self.version.overlapping_files(level, begin, end):
+                reader = self.table_cache.get(meta.file_number, meta.file_name())
+                for entry in reader.index.entries:
+                    if entry.smallest_user_key < end and entry.largest_user_key >= begin:
+                        total += entry.size
+        return total
+
+    def multi_get(
+        self, keys: list[bytes], *, snapshot: Snapshot | None = None
+    ) -> dict[bytes, bytes | None]:
+        """Batched point lookups: ``{key: value-or-None}`` for each input."""
+        return {key: self.get(key, snapshot=snapshot) for key in keys}
+
+    def _rewrite_bottom_level(self) -> None:
+        """Rewrite the deepest level in place, dropping shadowed versions
+        and unprotected tombstones that accumulated there.
+
+        Ordinary compactions only merge *into* a level, so garbage that
+        reaches the bottom has no natural collection point; LevelDB's
+        CompactRange has the same follow-up pass.
+        """
+        from ..compaction.base import make_tombstone_dropper, merge_live, table_entry_stream
+        from ..compaction.table_compaction import build_output_tables
+
+        level = self.version.deepest_nonempty_level()
+        files = list(self.version.files_at(level))
+        if not files:
+            return
+        lo = min(f.smallest_user_key for f in files)
+        hi = max(f.largest_user_key for f in files)
+        dropper = make_tombstone_dropper(self, level, lo, hi)
+        write_start = self.fs.stats.per_category[CAT_COMPACTION].bytes_written
+        stream = merge_live(
+            [table_entry_stream(self, f) for f in files],
+            dropper,
+            self.snapshot_boundaries(),
+        )
+        outputs = build_output_tables(self, stream, level)
+        edit = VersionEdit(next_file_number=self._next_file_number)
+        for meta in files:
+            edit.deleted_files.append((level, meta.file_number))
+        for meta in outputs:
+            edit.new_files.append((level, meta))
+        self._apply_edit(edit)
+        for meta in outputs:
+            self.table_cache.get(meta.file_number, meta.file_name(), CAT_COMPACTION)
+        self.deletion_manager.retire(files)
+        written = self.fs.stats.per_category[CAT_COMPACTION].bytes_written - write_start
+        self.stats.charge_level_write(level, written)
+        self.stats.compaction_bytes_written += written
+        self.stats.table_compactions += 1
+        self._observe_space()
+
+    def _observe_space(self) -> None:
+        total = self.version.total_file_bytes() + self.deletion_manager.pending_bytes
+        self.stats.observe_space(total)
+
+    # ------------------------------------------------------------------ reads
+
+    def get(
+        self,
+        key: bytes,
+        default: bytes | None = None,
+        *,
+        snapshot: Snapshot | None = None,
+    ) -> bytes | None:
+        """Point lookup; returns ``default`` when the key is absent.
+
+        Pass a live :class:`Snapshot` to read a pinned point-in-time view.
+        """
+        self._check_open()
+        if not isinstance(key, (bytes, bytearray)):
+            raise InvalidArgumentError("keys must be bytes")
+        key = bytes(key)
+        with self._lock:
+            return self._get_locked(key, default, snapshot)
+
+    def _get_locked(
+        self, key: bytes, default: bytes | None, snapshot: Snapshot | None
+    ) -> bytes | None:
+        self.stats.gets += 1
+        snapshot = self._resolve_snapshot(snapshot, self._sequence)
+
+        found, value = self._memtable.get(key, snapshot)
+        if found:
+            return self._get_result(value, default)
+        if self._immutable is not None:
+            found, value = self._immutable.get(key, snapshot)
+            if found:
+                return self._get_result(value, default)
+
+        # Seek-compaction accounting: the first file that cost a block read
+        # but did not contain the key is charged one seek if the lookup had
+        # to continue past it (LevelDB's rule).
+        first_miss: tuple[int, FileMetadata] | None = None
+        charged = False
+
+        def visit(level: int, meta: FileMetadata) -> tuple[bool, bytes | None]:
+            """Probe one file, tracking the seek-charge bookkeeping."""
+            nonlocal first_miss, charged
+            reader = self.table_cache.get(meta.file_number, meta.file_name())
+            found, value, touched = reader.lookup(
+                key, snapshot, block_cache=self.block_cache, category=CAT_GET
+            )
+            if touched and not found and first_miss is None:
+                first_miss = (level, meta)
+            elif (touched or found) and first_miss is not None and not charged:
+                charged = True
+                self._charge_seek(*first_miss)
+            return found, value
+
+        for meta in self.version.level0_files_newest_first():
+            if meta.smallest_user_key <= key <= meta.largest_user_key:
+                found, value = visit(0, meta)
+                if found:
+                    return self._get_result(value, default)
+        for level in range(1, self.version.num_levels):
+            meta = self.version.file_for_key(level, key)
+            if meta is not None:
+                found, value = visit(level, meta)
+                if found:
+                    return self._get_result(value, default)
+            # Auxiliary components logically stacked under this level
+            # (L2SM's log: entries diverted FROM a level are older than the
+            # level's current content but newer than everything deeper).
+            extra = self._extra_get_after_level(level, key, snapshot)
+            if extra is not None:
+                found, value = extra
+                if found:
+                    return self._get_result(value, default)
+        return default
+
+    def _get_result(self, value: bytes | None, default: bytes | None) -> bytes | None:
+        if value is None:  # tombstone
+            return default
+        self.stats.gets_found += 1
+        return value
+
+    def _extra_get_after_level(
+        self, level: int, key: bytes, snapshot: int
+    ) -> tuple[bool, bytes | None] | None:
+        """L2SM hook: search auxiliary components stacked under ``level``."""
+        return None
+
+    def _charge_seek(self, level: int, meta: FileMetadata) -> None:
+        meta.allowed_seeks -= 1
+        self.stats.seek_miss_charges += 1
+        if meta.allowed_seeks <= 0:
+            self.picker.note_seek_exhausted(level, meta)
+            meta.allowed_seeks = self._seek_budget(meta)
+            self._run_due_compactions()
+
+    def _seek_budget(self, meta: FileMetadata) -> int:
+        return max(
+            self.options.seek_compaction_min_seeks,
+            meta.file_size // max(1, self.options.seek_compaction_bytes_per_seek),
+        )
+
+    def __getitem__(self, key: bytes) -> bytes:
+        value = self.get(key)
+        if value is None:
+            raise NotFoundError(key)
+        return value
+
+    def __setitem__(self, key: bytes, value: bytes) -> None:
+        self.put(key, value)
+
+    def __delitem__(self, key: bytes) -> None:
+        self.delete(key)
+
+    def __contains__(self, key: bytes) -> bool:
+        return self.get(key) is not None
+
+    # ------------------------------------------------------------------ scans
+
+    def _file_entries(
+        self,
+        level: int,
+        meta: FileMetadata,
+        seek: ComparableKey | None,
+        category: str,
+    ) -> Iterator[tuple[ComparableKey, bytes]]:
+        """Lazy per-file entry stream that charges one seek on first use.
+
+        The reader is pinned for the generator's lifetime: a table cache
+        eviction (or file retirement) must not close the handle while the
+        iterator still reads from it.
+        """
+        reader = self.table_cache.get(meta.file_number, meta.file_name())
+        reader.acquire()
+        charged = False
+        try:
+            for item in reader.entries_from(
+                seek, category=category, block_cache=self.block_cache
+            ):
+                if not charged:
+                    charged = True
+                    self._charge_scan_seek(level, meta)
+                yield item
+        finally:
+            reader.release()
+
+    def _charge_scan_seek(self, level: int, meta: FileMetadata) -> None:
+        """Iterators sample a seek charge per file they actually read —
+        LevelDB's read-sampling, which is what makes repeated range scans
+        trigger seek compactions and collapse levels (Section V-G).
+
+        The triggered compaction itself is deferred until the iterator
+        closes (see :meth:`_iterator_closed`); mutating the tree mid-scan
+        would pull files out from under the open iterator.
+        """
+        meta.allowed_seeks -= 1
+        if meta.allowed_seeks <= 0:
+            self.picker.note_seek_exhausted(level, meta)
+            meta.allowed_seeks = self._seek_budget(meta)
+
+    def _iterator_closed(self) -> None:
+        with self._lock:
+            self.deletion_manager.unpin()
+            if (
+                not self._closed
+                and self.deletion_manager.active_pins == 0
+                and self.picker.seek_candidates
+            ):
+                self._run_due_compactions()
+
+    def _level_entries(
+        self,
+        level: int,
+        files: list[FileMetadata],
+        seek: ComparableKey | None,
+        category: str,
+    ) -> Iterator[tuple[ComparableKey, bytes]]:
+        """Concatenated stream over one sorted level."""
+        start = 0
+        if seek is not None:
+            user_key = seek[0]
+            while start < len(files) and files[start].largest_user_key < user_key:
+                start += 1
+        for i in range(start, len(files)):
+            meta = files[i]
+            file_seek = seek if i == start else None
+            yield from self._file_entries(level, meta, file_seek, category)
+
+    def _extra_entry_sources(
+        self, seek: ComparableKey | None, category: str
+    ) -> list[EntryStream]:
+        """L2SM hook: extra sorted sources for iterators."""
+        return []
+
+    def iterator(
+        self,
+        start: bytes | None = None,
+        end: bytes | None = None,
+        *,
+        snapshot: Snapshot | None = None,
+    ) -> DBIterator:
+        """Forward iterator over live keys in ``[start, end)``.
+
+        The iterator pins obsolete-file deletion while open; close it (or
+        exhaust it) promptly.  Pass a live :class:`Snapshot` to iterate a
+        pinned point-in-time view.
+        """
+        self._check_open()
+        with self._lock:
+            snapshot = self._resolve_snapshot(snapshot, self._sequence)
+            seek = seek_comparable(start, snapshot) if start is not None else None
+            file_lists = self.version.clone_file_lists()
+
+            sources: list[EntryStream] = [
+                self._memtable.entries_from(seek)
+                if seek is not None
+                else self._memtable.entries()
+            ]
+            if self._immutable is not None:
+                sources.append(
+                    self._immutable.entries_from(seek)
+                    if seek is not None
+                    else self._immutable.entries()
+                )
+            sources.extend(self._extra_entry_sources(seek, CAT_SCAN))
+            for meta in sorted(file_lists[0], key=lambda f: f.file_number, reverse=True):
+                sources.append(self._file_entries(0, meta, seek, CAT_SCAN))
+            for level in range(1, self.version.num_levels):
+                if file_lists[level]:
+                    sources.append(
+                        self._level_entries(level, file_lists[level], seek, CAT_SCAN)
+                    )
+
+            self.deletion_manager.pin()
+            self.stats.scans += 1
+            return DBIterator(sources, snapshot, end=end, on_close=self._iterator_closed)
+
+    def scan(
+        self,
+        start: bytes | None = None,
+        end: bytes | None = None,
+        limit: int | None = None,
+        *,
+        snapshot: Snapshot | None = None,
+    ) -> list[tuple[bytes, bytes]]:
+        """Materialized range scan: up to ``limit`` live pairs in [start, end)."""
+        results: list[tuple[bytes, bytes]] = []
+        with self.iterator(start, end, snapshot=snapshot) as it:
+            for key, value in it:
+                results.append((key, value))
+                self.stats.scan_entries += 1
+                if limit is not None and len(results) >= limit:
+                    break
+        return results
+
+    def _on_flush(self, meta: FileMetadata) -> None:
+        """L2SM hook: observe flushed key ranges for hotness tracking."""
+
+    # ------------------------------------------------------------------ admin
+
+    def level_sizes(self) -> list[int]:
+        """Live bytes per level (diagnostics)."""
+        return [self.version.level_valid_bytes(lv) for lv in range(self.version.num_levels)]
+
+    def num_files_per_level(self) -> list[int]:
+        return [len(self.version.files_at(lv)) for lv in range(self.version.num_levels)]
+
+    def table_cache_memory(self):
+        """Resident index/filter bytes (paper Fig 15)."""
+        return self.table_cache.memory_cost()
+
+    def debug_string(self) -> str:
+        """Multi-line summary of the tree and counters (LevelDB's
+        ``GetProperty("leveldb.stats")`` equivalent)."""
+        lines = [
+            "Level  Files  Valid(KiB)  File(KiB)  Obsolete(KiB)",
+            "-----  -----  ----------  ---------  -------------",
+        ]
+        for level in range(self.version.num_levels):
+            files = self.version.files_at(level)
+            if not files and level > self.version.deepest_nonempty_level():
+                continue
+            lines.append(
+                f"{level:>5}  {len(files):>5}  "
+                f"{self.version.level_valid_bytes(level) / 1024:>10.1f}  "
+                f"{self.version.level_file_bytes(level) / 1024:>9.1f}  "
+                f"{self.version.level_obsolete_bytes(level) / 1024:>13.1f}"
+            )
+        s = self.stats
+        lines.append("")
+        lines.append(
+            f"writes={s.user_writes} deletes={s.user_deletes} gets={s.gets} "
+            f"scans={s.scans} flushes={s.flush_count}"
+        )
+        lines.append(
+            f"compactions: table={s.table_compactions} block={s.block_compactions} "
+            f"trivial={s.trivial_moves} seek-triggered={s.seek_triggered_compactions}"
+        )
+        lines.append(
+            f"WA={s.write_amplification():.2f} "
+            f"peak-space={s.max_space_bytes / 1024:.1f} KiB "
+            f"sim-time={self.io_stats.sim_time_s:.4f} s"
+        )
+        return "\n".join(lines)
+
+    def close(self) -> None:
+        """Flush nothing (in-memory data survives via WAL), release files."""
+        if self._closed:
+            return
+        with self._lock:
+            self._closed = True
+            self._close_locked()
+
+    def _close_locked(self) -> None:
+        if self._wal is not None:
+            self._wal.close()
+        if self._manifest is not None:
+            self._manifest.close()
+        self.deletion_manager.flush_all()
+        self.table_cache.close()
+        self.block_cache.clear()
+
+    def __enter__(self) -> "DB":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,50 @@
+"""Flushing an immutable memtable to a level-0 SSTable."""
+
+from __future__ import annotations
+
+from ..keys import comparable_parts, comparable_to_internal
+from .snapshot import VersionKeeper
+from ..memtable.memtable import MemTable
+from ..options import Options
+from ..sstable.table_builder import TableBuilder
+from ..storage.fs import FileSystem
+from ..storage.io_stats import CAT_FLUSH
+from .version import FileMetadata, new_file_metadata
+
+
+def flush_memtable(
+    fs: FileSystem,
+    options: Options,
+    memtable: MemTable,
+    file_number: int,
+    snapshot_boundaries: list[int] | None = None,
+) -> FileMetadata | None:
+    """Serialize ``memtable`` into ``<file_number>.sst`` at level 0.
+
+    Keeps, per user key, the newest version of every live snapshot stratum
+    (just the newest overall when no snapshots are live).  Tombstones are
+    always preserved — an L0 flush cannot know what deeper levels hold.
+
+    Returns None when the memtable holds no live entries at all.
+    """
+    keeper = VersionKeeper(snapshot_boundaries or [])
+    builder = TableBuilder(fs, f"{file_number:06d}.sst", options, level=0, category=CAT_FLUSH)
+    last_user_key: bytes | None = None
+    for comparable, value in memtable.entries():
+        user_key, sequence, _value_type = comparable_parts(comparable)
+        if user_key != last_user_key:
+            keeper.new_key()
+            last_user_key = user_key
+        if not keeper.keep(sequence):
+            continue
+        builder.add(comparable_to_internal(comparable), value)
+    if builder.empty():
+        builder.abandon()
+        return None
+    info = builder.finish()
+    return new_file_metadata(
+        file_number,
+        info,
+        allowed_seeks_divisor=options.seek_compaction_bytes_per_seek,
+        min_allowed_seeks=options.seek_compaction_min_seeks,
+    )

@@ -1,0 +1,98 @@
+"""Merging iterators and the user-facing DB iterator.
+
+All internal sources (memtables, L0 tables, sorted levels) yield
+``(ComparableKey, value)`` streams already sorted by comparable key.
+:func:`heapq.merge` combines them; because comparable keys embed the
+sequence number descending, the newest version of each user key arrives
+first, so visibility filtering is a single forward pass: keep the first
+visible version per user key and skip tombstoned keys.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Iterable, Iterator
+
+from ..keys import TYPE_DELETION, ComparableKey, comparable_parts
+
+EntryStream = Iterable[tuple[ComparableKey, bytes]]
+
+
+def merge_sorted(sources: list[EntryStream]) -> Iterator[tuple[ComparableKey, bytes]]:
+    """Merge sorted entry streams into one sorted stream."""
+    if len(sources) == 1:
+        return iter(sources[0])
+    return heapq.merge(*sources)
+
+
+def visible_entries(
+    merged: EntryStream,
+    snapshot_sequence: int,
+) -> Iterator[tuple[bytes, bytes]]:
+    """Collapse a merged internal stream into live user ``(key, value)``.
+
+    Entries newer than ``snapshot_sequence`` are invisible; among the rest,
+    the first (newest) version per user key decides: tombstone -> the key is
+    absent, value -> yielded once.
+    """
+    last_user_key: bytes | None = None
+    for comparable, value in merged:
+        user_key, sequence, value_type = comparable_parts(comparable)
+        if sequence > snapshot_sequence:
+            continue
+        if user_key == last_user_key:
+            continue
+        last_user_key = user_key
+        if value_type == TYPE_DELETION:
+            continue
+        yield user_key, value
+
+
+class DBIterator:
+    """Forward iterator over live user keys in ``[start, end)``.
+
+    Pins its sources at construction: the DB guarantees the backing files
+    outlive the iterator (physical deletion is deferred while iterators are
+    live).  ``close`` releases the pin; the iterator also auto-closes on
+    exhaustion.
+    """
+
+    def __init__(
+        self,
+        sources: list[EntryStream],
+        snapshot_sequence: int,
+        end: bytes | None = None,
+        on_close: Callable[[], None] | None = None,
+    ):
+        self._stream = visible_entries(merge_sorted(sources), snapshot_sequence)
+        self._end = end
+        self._on_close = on_close
+        self._closed = False
+
+    def __iter__(self) -> "DBIterator":
+        return self
+
+    def __next__(self) -> tuple[bytes, bytes]:
+        if self._closed:
+            raise StopIteration
+        try:
+            user_key, value = next(self._stream)
+        except StopIteration:
+            self.close()
+            raise
+        if self._end is not None and user_key >= self._end:
+            self.close()
+            raise StopIteration
+        return user_key, value
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            if self._on_close is not None:
+                self._on_close()
+
+    def __enter__(self) -> "DBIterator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

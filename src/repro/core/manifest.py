@@ -1,0 +1,174 @@
+"""Manifest: durable log of version edits.
+
+The manifest is a WAL-format log (see :mod:`repro.memtable.wal`) whose
+records are serialized :class:`~repro.core.version.VersionEdit` values.  On
+open, the engine replays the manifest named by ``CURRENT`` to rebuild the
+version, then replays the data WAL into a fresh memtable.
+"""
+
+from __future__ import annotations
+
+from ..encoding import (
+    decode_varint,
+    encode_varint,
+    get_length_prefixed,
+    put_length_prefixed,
+)
+from ..errors import CorruptionError
+from ..memtable.wal import WalWriter, read_wal
+from ..storage.fs import FileSystem
+from .version import FileMetadata, VersionEdit
+
+_TAG_LOG_NUMBER = 1
+_TAG_NEXT_FILE = 2
+_TAG_LAST_SEQUENCE = 3
+_TAG_COMPACT_POINTER = 4
+_TAG_DELETED_FILE = 5
+_TAG_NEW_FILE = 6
+_TAG_UPDATED_FILE = 7
+
+CURRENT_FILE = "CURRENT"
+
+
+def manifest_file_name(number: int) -> str:
+    return f"MANIFEST-{number:06d}"
+
+
+def _encode_file(out: bytearray, level: int, meta: FileMetadata) -> None:
+    out += encode_varint(level)
+    out += encode_varint(meta.file_number)
+    out += encode_varint(meta.file_size)
+    out += encode_varint(meta.valid_bytes)
+    out += encode_varint(meta.num_entries)
+    put_length_prefixed(out, meta.smallest)
+    put_length_prefixed(out, meta.largest)
+    out += encode_varint(meta.allowed_seeks)
+    out += encode_varint(meta.append_count)
+
+
+def _decode_file(buf: bytes, offset: int) -> tuple[int, FileMetadata, int]:
+    level, offset = decode_varint(buf, offset)
+    number, offset = decode_varint(buf, offset)
+    size, offset = decode_varint(buf, offset)
+    valid, offset = decode_varint(buf, offset)
+    entries, offset = decode_varint(buf, offset)
+    smallest, offset = get_length_prefixed(buf, offset)
+    largest, offset = get_length_prefixed(buf, offset)
+    allowed_seeks, offset = decode_varint(buf, offset)
+    append_count, offset = decode_varint(buf, offset)
+    meta = FileMetadata(
+        file_number=number,
+        file_size=size,
+        valid_bytes=valid,
+        num_entries=entries,
+        smallest=smallest,
+        largest=largest,
+        allowed_seeks=allowed_seeks,
+        append_count=append_count,
+    )
+    return level, meta, offset
+
+
+def encode_edit(edit: VersionEdit) -> bytes:
+    """Serialize an edit as a tagged record."""
+    out = bytearray()
+    if edit.log_number is not None:
+        out += encode_varint(_TAG_LOG_NUMBER)
+        out += encode_varint(edit.log_number)
+    if edit.next_file_number is not None:
+        out += encode_varint(_TAG_NEXT_FILE)
+        out += encode_varint(edit.next_file_number)
+    if edit.last_sequence is not None:
+        out += encode_varint(_TAG_LAST_SEQUENCE)
+        out += encode_varint(edit.last_sequence)
+    for level, key in edit.compact_pointers:
+        out += encode_varint(_TAG_COMPACT_POINTER)
+        out += encode_varint(level)
+        put_length_prefixed(out, key)
+    for level, number in edit.deleted_files:
+        out += encode_varint(_TAG_DELETED_FILE)
+        out += encode_varint(level)
+        out += encode_varint(number)
+    for level, meta in edit.new_files:
+        out += encode_varint(_TAG_NEW_FILE)
+        _encode_file(out, level, meta)
+    for level, meta in edit.updated_files:
+        out += encode_varint(_TAG_UPDATED_FILE)
+        _encode_file(out, level, meta)
+    return bytes(out)
+
+
+def decode_edit(buf: bytes) -> VersionEdit:
+    """Inverse of :func:`encode_edit`."""
+    edit = VersionEdit()
+    offset = 0
+    while offset < len(buf):
+        tag, offset = decode_varint(buf, offset)
+        if tag == _TAG_LOG_NUMBER:
+            edit.log_number, offset = decode_varint(buf, offset)
+        elif tag == _TAG_NEXT_FILE:
+            edit.next_file_number, offset = decode_varint(buf, offset)
+        elif tag == _TAG_LAST_SEQUENCE:
+            edit.last_sequence, offset = decode_varint(buf, offset)
+        elif tag == _TAG_COMPACT_POINTER:
+            level, offset = decode_varint(buf, offset)
+            key, offset = get_length_prefixed(buf, offset)
+            edit.compact_pointers.append((level, key))
+        elif tag == _TAG_DELETED_FILE:
+            level, offset = decode_varint(buf, offset)
+            number, offset = decode_varint(buf, offset)
+            edit.deleted_files.append((level, number))
+        elif tag == _TAG_NEW_FILE:
+            level, meta, offset = _decode_file(buf, offset)
+            edit.new_files.append((level, meta))
+        elif tag == _TAG_UPDATED_FILE:
+            level, meta, offset = _decode_file(buf, offset)
+            edit.updated_files.append((level, meta))
+        else:
+            raise CorruptionError(f"unknown manifest tag {tag}")
+    return edit
+
+
+class ManifestWriter:
+    """Appends edits to the live manifest file."""
+
+    def __init__(self, fs: FileSystem, number: int):
+        self.number = number
+        self.name = manifest_file_name(number)
+        self._wal = WalWriter(fs, self.name)
+        self._fs = fs
+
+    def log_edit(self, edit: VersionEdit) -> None:
+        self._wal.add_record(encode_edit(edit))
+
+    def close(self) -> None:
+        self._wal.close()
+
+
+def set_current(fs: FileSystem, manifest_number: int) -> None:
+    """Atomically point ``CURRENT`` at a manifest (write temp + rename)."""
+    tmp = "CURRENT.tmp"
+    f = fs.create_file(tmp, category="manifest")
+    f.append(manifest_file_name(manifest_number).encode() + b"\n", category="manifest")
+    f.close()
+    fs.rename(tmp, CURRENT_FILE)
+
+
+def read_current(fs: FileSystem) -> str | None:
+    """Name of the live manifest, or None for a fresh directory."""
+    if not fs.exists(CURRENT_FILE):
+        return None
+    handle = fs.open_random(CURRENT_FILE)
+    try:
+        data = handle.read(0, handle.size(), category="manifest", sequential=True)
+    finally:
+        handle.close()
+    name = data.decode().strip()
+    if not name:
+        raise CorruptionError("CURRENT file is empty")
+    return name
+
+
+def replay_manifest(fs: FileSystem, name: str) -> list[VersionEdit]:
+    """All edits recorded in manifest ``name``, in order."""
+    return [decode_edit(record) for record in read_wal(fs, name)]

@@ -1,0 +1,115 @@
+"""Snapshots: consistent point-in-time read views.
+
+A snapshot pins a sequence number: reads through it see exactly the
+versions that were newest at acquisition time, regardless of later writes.
+While any snapshot is live, compactions must not discard versions it can
+still see — :class:`VersionKeeper` encodes LevelDB's rule: among one user
+key's versions (walked newest-first), keep the newest version *per snapshot
+stratum*, where strata are the intervals between live snapshot sequences.
+
+The registry is a simple multiset of pinned sequences; compactions consult
+:meth:`SnapshotRegistry.boundaries` once per run.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import Counter
+
+
+class Snapshot:
+    """Handle on a pinned sequence number.  Release via
+    :meth:`~repro.core.db.DB.release_snapshot`, ``close()``, or use as a
+    context manager."""
+
+    __slots__ = ("sequence", "_db", "_released")
+
+    def __init__(self, sequence: int, db):
+        self.sequence = sequence
+        self._db = db
+        self._released = False
+
+    def close(self) -> None:
+        if not self._released:
+            self._released = True
+            self._db.release_snapshot(self)
+
+    @property
+    def released(self) -> bool:
+        return self._released
+
+    def __enter__(self) -> "Snapshot":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "released" if self._released else "live"
+        return f"<Snapshot seq={self.sequence} {state}>"
+
+
+class SnapshotRegistry:
+    """Multiset of live pinned sequences."""
+
+    def __init__(self):
+        self._pinned: Counter[int] = Counter()
+
+    def pin(self, sequence: int) -> None:
+        self._pinned[sequence] += 1
+
+    def unpin(self, sequence: int) -> None:
+        count = self._pinned.get(sequence, 0)
+        if count <= 0:
+            raise ValueError(f"sequence {sequence} is not pinned")
+        if count == 1:
+            del self._pinned[sequence]
+        else:
+            self._pinned[sequence] = count - 1
+
+    def __len__(self) -> int:
+        return sum(self._pinned.values())
+
+    def boundaries(self) -> list[int]:
+        """Sorted distinct pinned sequences (compaction strata borders)."""
+        return sorted(self._pinned)
+
+    def oldest(self) -> int | None:
+        return min(self._pinned) if self._pinned else None
+
+
+class VersionKeeper:
+    """Per-user-key version retention under snapshot strata.
+
+    Feed one user key's versions newest-first; :meth:`keep` answers whether
+    each must survive compaction.  With no live snapshots this degenerates
+    to "keep only the newest" — the engine's previous behaviour.
+    """
+
+    def __init__(self, boundaries: list[int]):
+        self._boundaries = boundaries
+        self._last_stratum: int | None = None
+
+    def new_key(self) -> None:
+        self._last_stratum = None
+
+    def _stratum(self, sequence: int) -> int:
+        """Index of the snapshot interval ``sequence`` falls into.
+
+        Versions above every boundary share the open-ended "live" stratum.
+        """
+        return bisect.bisect_left(self._boundaries, sequence)
+
+    def keep(self, sequence: int) -> bool:
+        """True when this version is the newest of a not-yet-covered
+        stratum (call with strictly decreasing sequences per key)."""
+        stratum = self._stratum(sequence)
+        if self._last_stratum is not None and stratum == self._last_stratum:
+            return False
+        self._last_stratum = stratum
+        return True
+
+    def tombstone_unprotected(self, sequence: int) -> bool:
+        """No live snapshot can see beneath this tombstone — dropping it
+        (plus everything older) changes no observable view."""
+        return self._stratum(sequence) == 0

@@ -1,0 +1,114 @@
+"""Binary encoding primitives shared by the WAL, SSTable, and manifest formats.
+
+The formats follow LevelDB's conventions: little-endian fixed-width integers
+and LEB128 varints.  All functions operate on ``bytes`` / ``bytearray`` and
+return plain Python ints; offsets are explicit so callers can decode
+sequentially without allocating slices.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from .errors import CorruptionError
+
+_FIXED32 = struct.Struct("<I")
+_FIXED64 = struct.Struct("<Q")
+
+MAX_VARINT32_BYTES = 5
+MAX_VARINT64_BYTES = 10
+
+
+def encode_fixed32(value: int) -> bytes:
+    """Encode ``value`` as a 4-byte little-endian unsigned integer."""
+    return _FIXED32.pack(value & 0xFFFFFFFF)
+
+
+def decode_fixed32(buf: bytes, offset: int = 0) -> int:
+    """Decode a 4-byte little-endian unsigned integer at ``offset``."""
+    return _FIXED32.unpack_from(buf, offset)[0]
+
+
+def encode_fixed64(value: int) -> bytes:
+    """Encode ``value`` as an 8-byte little-endian unsigned integer."""
+    return _FIXED64.pack(value & 0xFFFFFFFFFFFFFFFF)
+
+
+def decode_fixed64(buf: bytes, offset: int = 0) -> int:
+    """Decode an 8-byte little-endian unsigned integer at ``offset``."""
+    return _FIXED64.unpack_from(buf, offset)[0]
+
+
+def encode_varint(value: int) -> bytes:
+    """Encode a non-negative integer as a LEB128 varint."""
+    if value < 0:
+        raise ValueError(f"varints encode non-negative integers, got {value}")
+    out = bytearray()
+    while value >= 0x80:
+        out.append((value & 0x7F) | 0x80)
+        value >>= 7
+    out.append(value)
+    return bytes(out)
+
+
+def decode_varint(buf: bytes, offset: int = 0) -> tuple[int, int]:
+    """Decode a varint at ``offset``.
+
+    Returns ``(value, next_offset)``.  Raises :class:`CorruptionError` when
+    the buffer ends mid-varint or the varint exceeds 64 bits.
+    """
+    result = 0
+    shift = 0
+    pos = offset
+    end = len(buf)
+    while pos < end:
+        byte = buf[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+        if shift > 63:
+            raise CorruptionError("varint too long (more than 64 bits)")
+    raise CorruptionError("truncated varint")
+
+
+def put_length_prefixed(out: bytearray, data: bytes) -> None:
+    """Append ``data`` to ``out`` preceded by its varint length."""
+    out += encode_varint(len(data))
+    out += data
+
+
+def get_length_prefixed(buf: bytes, offset: int = 0) -> tuple[bytes, int]:
+    """Read a varint-length-prefixed slice at ``offset``.
+
+    Returns ``(data, next_offset)``.
+    """
+    length, pos = decode_varint(buf, offset)
+    end = pos + length
+    if end > len(buf):
+        raise CorruptionError("truncated length-prefixed slice")
+    return bytes(buf[pos:end]), end
+
+
+def shared_prefix_len(a: bytes, b: bytes) -> int:
+    """Return the length of the longest common prefix of ``a`` and ``b``."""
+    limit = min(len(a), len(b))
+    i = 0
+    while i < limit and a[i] == b[i]:
+        i += 1
+    return i
+
+
+def crc32c(data: bytes) -> int:
+    """A masked CRC-32 used to checksum blocks and log records.
+
+    We use :func:`zlib.crc32` (CRC-32/ISO-HDLC) rather than true CRC-32C —
+    the polynomial is irrelevant to the reproduction; what matters is that
+    corrupt bytes are detected.  The LevelDB-style mask rotates the value so
+    that checksumming data that embeds checksums stays robust.
+    """
+    import zlib
+
+    crc = zlib.crc32(data) & 0xFFFFFFFF
+    return (((crc >> 15) | (crc << 17)) + 0xA282EAD8) & 0xFFFFFFFF

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the BlockDB reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class NotFoundError(ReproError, KeyError):
+    """A requested key or file does not exist.
+
+    Subclasses ``KeyError`` so that ``db.get`` callers may use either idiom.
+    """
+
+
+class CorruptionError(ReproError):
+    """On-disk data failed a structural or checksum validation."""
+
+
+class InvalidArgumentError(ReproError, ValueError):
+    """An API was called with arguments that violate its contract."""
+
+
+class DBClosedError(ReproError):
+    """An operation was attempted on a database that has been closed."""
+
+
+class FileSystemError(ReproError):
+    """A simulated or real filesystem operation failed."""
+
+
+class WriteStallError(ReproError):
+    """Raised when writes are stopped and the caller opted out of waiting.
+
+    Mirrors LevelDB's ``level0_stop_writes_trigger`` behaviour: when level 0
+    accumulates too many SSTables the engine refuses new writes until
+    compaction catches up.
+    """

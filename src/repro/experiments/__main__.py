@@ -1,0 +1,100 @@
+"""Command-line entry point for the experiment drivers.
+
+Usage::
+
+    python -m repro.experiments list
+    python -m repro.experiments fig7
+    python -m repro.experiments fig7 --keys-per-gb 2000
+    python -m repro.experiments all
+
+Each experiment prints the same rows/series the paper's table or figure
+reports, at the configured scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+
+from ..metrics.report import format_table
+from . import drivers
+from .config import DEFAULT_SCALE
+
+EXPERIMENTS = {
+    "table2": (drivers.table2_lazy_deletion, "Table II — Lazy Deletion running time"),
+    "fig5": (drivers.fig5_write_performance, "Fig 5 — write performance"),
+    "fig6": (drivers.fig6_throughput_curve, "Fig 6 — insert throughput over time"),
+    "fig7": (drivers.fig7_write_amplification, "Fig 7 — write amplification"),
+    "fig8": (drivers.fig8_wa_per_level, "Fig 8 — write traffic per level"),
+    "fig9": (drivers.fig9_space_amplification, "Fig 9 — space amplification"),
+    "fig10": (drivers.fig10_sa_per_level, "Fig 10 — BlockDB obsolete bytes per level"),
+    "fig11": (drivers.fig11_point_query_insert, "Fig 11 — point queries + insertions"),
+    "fig12": (drivers.fig12_point_query_update, "Fig 12 — point queries + updates"),
+    "fig13": (drivers.fig13_zipf_sweep, "Fig 13 — skew sweep"),
+    "fig14": (drivers.fig14_cache_misses, "Fig 14 — block cache misses"),
+    "fig15": (drivers.fig15_memory_cost, "Fig 15 — table cache memory"),
+    "fig16": (drivers.fig16_range_scan, "Fig 16 — range scans"),
+    "fig17": (drivers.fig17_sstable_size_running_time, "Fig 17 — SSTable size vs time"),
+    "fig18": (drivers.fig18_sstable_size_wa, "Fig 18 — SSTable size vs WA"),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument schema (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (e.g. fig7), 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--keys-per-gb",
+        type=int,
+        default=DEFAULT_SCALE.keys_per_gb,
+        help="pairs standing in for one paper-GB (default %(default)s)",
+    )
+    parser.add_argument(
+        "--value-size",
+        type=int,
+        default=DEFAULT_SCALE.value_size,
+        help="value size in bytes (default %(default)s)",
+    )
+    return parser
+
+
+def run_one(name: str, scale) -> None:
+    driver, title = EXPERIMENTS[name]
+    headers, rows = driver(scale)
+    print(format_table(headers, rows, title=title))
+    print()
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point: run one experiment, all of them, or list them."""
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        for name, (_driver, title) in EXPERIMENTS.items():
+            print(f"{name:8s} {title}")
+        return 0
+    scale = dataclasses.replace(
+        DEFAULT_SCALE, keys_per_gb=args.keys_per_gb, value_size=args.value_size
+    )
+    if args.experiment == "all":
+        for name in EXPERIMENTS:
+            run_one(name, scale)
+        return 0
+    if args.experiment not in EXPERIMENTS:
+        print(f"unknown experiment {args.experiment!r}; try 'list'", file=sys.stderr)
+        return 2
+    run_one(args.experiment, scale)
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        raise SystemExit(main())
+    except BrokenPipeError:  # e.g. piped into `head`
+        raise SystemExit(0)

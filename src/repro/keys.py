@@ -1,0 +1,126 @@
+"""Internal-key encoding.
+
+Like LevelDB, the engine stores *internal keys*: the user key followed by an
+8-byte trailer packing a 56-bit sequence number and an 8-bit value type.
+Internal keys sort by user key ascending, then by sequence number
+*descending* (newer entries first), then by type descending.  Packing the
+trailer as ``(seq << 8) | type`` and comparing the trailer as a descending
+integer achieves exactly that order.
+"""
+
+from __future__ import annotations
+
+from .encoding import decode_fixed64, encode_fixed64
+from .errors import CorruptionError
+
+TYPE_DELETION = 0x0
+TYPE_VALUE = 0x1
+
+MAX_SEQUENCE = (1 << 56) - 1
+
+#: Trailer that sorts before every real entry with the same user key —
+#: used when seeking: ``make_internal_key(k, MAX_SEQUENCE, TYPE_VALUE)``.
+VALUE_TYPE_FOR_SEEK = TYPE_VALUE
+
+
+def pack_trailer(sequence: int, value_type: int) -> int:
+    """Pack a sequence number and value type into the 64-bit trailer."""
+    if not 0 <= sequence <= MAX_SEQUENCE:
+        raise ValueError(f"sequence {sequence} out of range")
+    if value_type not in (TYPE_DELETION, TYPE_VALUE):
+        raise ValueError(f"invalid value type {value_type}")
+    return (sequence << 8) | value_type
+
+
+def make_internal_key(user_key: bytes, sequence: int, value_type: int) -> bytes:
+    """Build the internal key for ``user_key`` at ``sequence``/``value_type``."""
+    return user_key + encode_fixed64(pack_trailer(sequence, value_type))
+
+
+def split_internal_key(internal_key: bytes) -> tuple[bytes, int, int]:
+    """Split an internal key into ``(user_key, sequence, value_type)``."""
+    if len(internal_key) < 8:
+        raise CorruptionError(f"internal key too short: {len(internal_key)} bytes")
+    trailer = decode_fixed64(internal_key, len(internal_key) - 8)
+    return internal_key[:-8], trailer >> 8, trailer & 0xFF
+
+
+def user_key_of(internal_key: bytes) -> bytes:
+    """Return the user-key portion of an internal key."""
+    if len(internal_key) < 8:
+        raise CorruptionError(f"internal key too short: {len(internal_key)} bytes")
+    return internal_key[:-8]
+
+
+def sequence_of(internal_key: bytes) -> int:
+    """Return the sequence number embedded in an internal key."""
+    return decode_fixed64(internal_key, len(internal_key) - 8) >> 8
+
+
+def type_of(internal_key: bytes) -> int:
+    """Return the value type embedded in an internal key."""
+    return decode_fixed64(internal_key, len(internal_key) - 8) & 0xFF
+
+
+def internal_compare(a: bytes, b: bytes) -> int:
+    """Three-way comparison of two internal keys.
+
+    User keys ascending; among equal user keys, higher sequence numbers
+    (newer entries) come first.
+    """
+    ua, ub = a[:-8], b[:-8]
+    if ua < ub:
+        return -1
+    if ua > ub:
+        return 1
+    ta = decode_fixed64(a, len(a) - 8)
+    tb = decode_fixed64(b, len(b) - 8)
+    if ta > tb:
+        return -1
+    if ta < tb:
+        return 1
+    return 0
+
+
+#: Trailer inversion constant: ``(user_key, _INVERT - trailer)`` tuples sort
+#: exactly like :func:`internal_compare` under Python's native tuple order.
+_INVERT = (1 << 64) - 1
+
+ComparableKey = tuple[bytes, int]
+
+
+def comparable_key(user_key: bytes, sequence: int, value_type: int) -> ComparableKey:
+    """Tuple form of an internal key whose native ordering matches
+    :func:`internal_compare` (user key ascending, sequence descending)."""
+    return user_key, _INVERT - pack_trailer(sequence, value_type)
+
+
+def comparable_from_internal(internal_key: bytes) -> ComparableKey:
+    """Convert serialized internal-key bytes to the comparable tuple form."""
+    if len(internal_key) < 8:
+        raise CorruptionError(f"internal key too short: {len(internal_key)} bytes")
+    return internal_key[:-8], _INVERT - decode_fixed64(internal_key, len(internal_key) - 8)
+
+
+def comparable_to_internal(key: ComparableKey) -> bytes:
+    """Convert a comparable tuple back to serialized internal-key bytes."""
+    user_key, inv = key
+    return user_key + encode_fixed64(_INVERT - inv)
+
+
+def comparable_parts(key: ComparableKey) -> tuple[bytes, int, int]:
+    """Split a comparable tuple into ``(user_key, sequence, value_type)``."""
+    user_key, inv = key
+    trailer = _INVERT - inv
+    return user_key, trailer >> 8, trailer & 0xFF
+
+
+def seek_comparable(user_key: bytes, snapshot_sequence: int = MAX_SEQUENCE) -> ComparableKey:
+    """Comparable-tuple analogue of :func:`seek_key`."""
+    return comparable_key(user_key, snapshot_sequence, VALUE_TYPE_FOR_SEEK)
+
+
+def seek_key(user_key: bytes, snapshot_sequence: int = MAX_SEQUENCE) -> bytes:
+    """Internal key that positions *at or before* all visible entries of
+    ``user_key`` for the given snapshot."""
+    return make_internal_key(user_key, snapshot_sequence, VALUE_TYPE_FOR_SEEK)

@@ -1,0 +1,129 @@
+"""A deterministic skiplist — the memtable's sorted map.
+
+The implementation mirrors LevelDB's memtable skiplist: geometric height
+distribution with branching factor 4, a maximum height of 12, and no
+deletions (the memtable is append-only; obsolete entries are dropped at
+flush or compaction time).  Heights come from a per-instance seeded PRNG so
+runs are reproducible.
+
+Keys may be any Python values with a total order (the engine uses
+``(user_key, inverted_trailer)`` tuples, see :mod:`repro.keys`).  Duplicate
+inserts of the same key overwrite the value in place.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Iterator
+
+MAX_HEIGHT = 12
+BRANCHING = 4
+
+# Node layout: [key, value, next_0, next_1, ..., next_{h-1}]
+_KEY = 0
+_VALUE = 1
+_NEXT = 2
+
+
+class SkipList:
+    """Sorted map with O(log n) insert and seek."""
+
+    def __init__(self, seed: int = 0):
+        self._rng = random.Random(seed)
+        self._head: list[Any] = [None, None] + [None] * MAX_HEIGHT
+        self._height = 1
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _random_height(self) -> int:
+        height = 1
+        while height < MAX_HEIGHT and self._rng.randrange(BRANCHING) == 0:
+            height += 1
+        return height
+
+    def _find_greater_or_equal(self, key, prev: list | None = None):
+        """Return the first node with ``node.key >= key``.
+
+        When ``prev`` is given it is filled with the predecessor node at
+        every level (used by insert).
+        """
+        node = self._head
+        level = self._height - 1
+        while True:
+            nxt = node[_NEXT + level]
+            if nxt is not None and nxt[_KEY] < key:
+                node = nxt
+            else:
+                if prev is not None:
+                    prev[level] = node
+                if level == 0:
+                    return nxt
+                level -= 1
+
+    def insert(self, key, value) -> None:
+        """Insert ``key -> value``; overwrite the value if ``key`` exists."""
+        prev: list = [None] * MAX_HEIGHT
+        node = self._find_greater_or_equal(key, prev)
+        if node is not None and node[_KEY] == key:
+            node[_VALUE] = value
+            return
+        height = self._random_height()
+        if height > self._height:
+            for level in range(self._height, height):
+                prev[level] = self._head
+            self._height = height
+        new_node = [key, value] + [None] * height
+        for level in range(height):
+            new_node[_NEXT + level] = prev[level][_NEXT + level]
+            prev[level][_NEXT + level] = new_node
+        self._size += 1
+
+    def get(self, key, default=None):
+        """Exact-match lookup."""
+        node = self._find_greater_or_equal(key)
+        if node is not None and node[_KEY] == key:
+            return node[_VALUE]
+        return default
+
+    def __contains__(self, key) -> bool:
+        node = self._find_greater_or_equal(key)
+        return node is not None and node[_KEY] == key
+
+    def items_from(self, key=None) -> Iterator[tuple[Any, Any]]:
+        """Iterate ``(key, value)`` pairs in sorted order.
+
+        Starts at the first key ``>= key``; from the smallest key when
+        ``key`` is None.
+        """
+        if key is None:
+            node = self._head[_NEXT]
+        else:
+            node = self._find_greater_or_equal(key)
+        while node is not None:
+            yield node[_KEY], node[_VALUE]
+            node = node[_NEXT]
+
+    def __iter__(self) -> Iterator[Any]:
+        for key, _ in self.items_from():
+            yield key
+
+    def items(self) -> Iterator[tuple[Any, Any]]:
+        return self.items_from()
+
+    def first_key(self):
+        """Smallest key, or None when empty."""
+        node = self._head[_NEXT]
+        return None if node is None else node[_KEY]
+
+    def last_key(self):
+        """Largest key, or None when empty.  O(n) walk along level 0's
+        upper-level shortcuts — only used at flush boundaries."""
+        node = self._head
+        level = self._height - 1
+        while level >= 0:
+            while node[_NEXT + level] is not None:
+                node = node[_NEXT + level]
+            level -= 1
+        return None if node is self._head else node[_KEY]

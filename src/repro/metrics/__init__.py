@@ -1,0 +1,30 @@
+"""Metrics: engine counters, amplification calculations, report formatting."""
+
+from .amplification import (
+    block_cache_miss_ratio,
+    current_space_bytes,
+    per_level_obsolete_bytes,
+    per_level_write_traffic,
+    read_amplification,
+    space_amplification,
+    write_amplification,
+    write_amplification_with_wal,
+)
+from .report import format_series, format_table, human_bytes
+from .stats import CompactionEvent, DBStats
+
+__all__ = [
+    "CompactionEvent",
+    "DBStats",
+    "block_cache_miss_ratio",
+    "current_space_bytes",
+    "per_level_obsolete_bytes",
+    "per_level_write_traffic",
+    "read_amplification",
+    "space_amplification",
+    "write_amplification",
+    "write_amplification_with_wal",
+    "format_series",
+    "format_table",
+    "human_bytes",
+]

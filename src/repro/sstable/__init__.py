@@ -1,0 +1,50 @@
+"""SSTable substrate: block format, extended index, builders, readers, appenders."""
+
+from .block import DataBlock
+from .block_builder import BlockBuilder
+from .filter_block import (
+    BlockFilters,
+    Filter,
+    TableFilter,
+    build_block_filters,
+    build_table_filter,
+    deserialize_filter,
+)
+from .format import (
+    BLOCK_TRAILER_SIZE,
+    FOOTER_SIZE,
+    TABLE_MAGIC,
+    BlockHandle,
+    Footer,
+    unwrap_block,
+    wrap_block,
+)
+from .index import IndexBlock, IndexEntry
+from .table_appender import AppendResult, AppendSession
+from .table_builder import TableBuilder, TableInfo
+from .table_reader import TableReader
+
+__all__ = [
+    "DataBlock",
+    "BlockBuilder",
+    "BlockFilters",
+    "Filter",
+    "TableFilter",
+    "build_block_filters",
+    "build_table_filter",
+    "deserialize_filter",
+    "BlockHandle",
+    "Footer",
+    "BLOCK_TRAILER_SIZE",
+    "FOOTER_SIZE",
+    "TABLE_MAGIC",
+    "unwrap_block",
+    "wrap_block",
+    "IndexBlock",
+    "IndexEntry",
+    "AppendResult",
+    "AppendSession",
+    "TableBuilder",
+    "TableInfo",
+    "TableReader",
+]

@@ -1,0 +1,96 @@
+"""Parsed data block: decoding and search.
+
+A :class:`DataBlock` is the in-memory form of one data-block payload.  It is
+what the block cache stores, so parsing happens once per cache miss.  Blocks
+are small (the paper uses 4 KB), so the block is decoded eagerly into entry
+lists and searched with :mod:`bisect` over comparable keys.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator
+
+from ..encoding import decode_fixed32, decode_varint
+from ..errors import CorruptionError
+from ..keys import (
+    ComparableKey,
+    TYPE_DELETION,
+    comparable_from_internal,
+    comparable_parts,
+    seek_comparable,
+)
+
+
+class DataBlock:
+    """Decoded data block: parallel lists of comparable keys and values."""
+
+    __slots__ = ("keys", "values", "serialized_size")
+
+    def __init__(self, keys: list[ComparableKey], values: list[bytes], serialized_size: int):
+        self.keys = keys
+        self.values = values
+        self.serialized_size = serialized_size
+
+    @classmethod
+    def parse(cls, payload: bytes) -> "DataBlock":
+        """Decode a block payload produced by
+        :class:`~repro.sstable.block_builder.BlockBuilder`."""
+        if len(payload) < 4:
+            raise CorruptionError("data block too short")
+        num_restarts = decode_fixed32(payload, len(payload) - 4)
+        data_end = len(payload) - 4 - 4 * num_restarts
+        if data_end < 0:
+            raise CorruptionError("data block restart array overruns payload")
+        keys: list[ComparableKey] = []
+        values: list[bytes] = []
+        offset = 0
+        prev_key = b""
+        while offset < data_end:
+            shared, offset = decode_varint(payload, offset)
+            non_shared, offset = decode_varint(payload, offset)
+            value_len, offset = decode_varint(payload, offset)
+            if shared > len(prev_key):
+                raise CorruptionError("prefix-compressed key shares more than previous key")
+            key_end = offset + non_shared
+            value_end = key_end + value_len
+            if value_end > data_end:
+                raise CorruptionError("data block entry overruns payload")
+            key = prev_key[:shared] + payload[offset:key_end]
+            keys.append(comparable_from_internal(key))
+            values.append(payload[key_end:value_end])
+            prev_key = key
+            offset = value_end
+        return cls(keys, values, len(payload))
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def get(self, user_key: bytes, snapshot_sequence: int) -> tuple[bool, bytes | None]:
+        """Lookup semantics matching :meth:`MemTable.get`:
+        ``(found, value-or-None-for-tombstone)``."""
+        idx = bisect.bisect_left(self.keys, seek_comparable(user_key, snapshot_sequence))
+        if idx >= len(self.keys):
+            return False, None
+        found_user_key, _seq, value_type = comparable_parts(self.keys[idx])
+        if found_user_key != user_key:
+            return False, None
+        if value_type == TYPE_DELETION:
+            return True, None
+        return True, self.values[idx]
+
+    def entries(self) -> Iterator[tuple[ComparableKey, bytes]]:
+        return zip(self.keys, self.values)
+
+    def entries_from(self, seek: ComparableKey) -> Iterator[tuple[ComparableKey, bytes]]:
+        """Entries with comparable key >= ``seek``."""
+        idx = bisect.bisect_left(self.keys, seek)
+        return zip(self.keys[idx:], self.values[idx:])
+
+    def user_keys(self) -> list[bytes]:
+        """Distinct-preserving list of user keys (for filter construction)."""
+        return [key[0] for key in self.keys]
+
+    def memory_bytes(self) -> int:
+        """Charge for cache accounting: the serialized payload size."""
+        return self.serialized_size

@@ -1,0 +1,82 @@
+"""Data-block serialization.
+
+LevelDB's entry format with prefix compression and restart points:
+
+::
+
+    entry   := shared:varint  non_shared:varint  value_len:varint
+               key_suffix:bytes  value:bytes
+    block   := entry* restart_offset:fixed32* num_restarts:fixed32
+
+``shared`` is the byte count the key shares with the previous key; every
+``restart_interval`` entries a restart point stores the full key so readers
+can binary-search restarts.  Keys are serialized internal keys.
+"""
+
+from __future__ import annotations
+
+from ..encoding import encode_fixed32, encode_varint, shared_prefix_len
+
+
+class BlockBuilder:
+    """Accumulates sorted entries into one data-block payload."""
+
+    def __init__(self, restart_interval: int = 16):
+        if restart_interval < 1:
+            raise ValueError("restart_interval must be >= 1")
+        self._restart_interval = restart_interval
+        self.reset()
+
+    def reset(self) -> None:
+        self._buf = bytearray()
+        self._restarts: list[int] = [0]
+        self._count_since_restart = 0
+        self._last_key = b""
+        self.num_entries = 0
+        self.first_key: bytes | None = None
+        self.last_key: bytes | None = None
+
+    def add(self, key: bytes, value: bytes) -> None:
+        """Append one entry; keys must arrive in strictly increasing order."""
+        if self.num_entries > 0 and key <= self._last_key:
+            # Internal keys are unique (sequence numbers differ), so equality
+            # is also a bug.  Note: byte order of serialized internal keys is
+            # NOT the internal-key order in general, but within one block the
+            # builder receives keys already sorted by internal order and only
+            # uses byte comparison as a prefix-compression aid — so we only
+            # assert on exact duplicates here.
+            if key == self._last_key:
+                raise ValueError("duplicate key added to block")
+        if self._count_since_restart >= self._restart_interval:
+            self._restarts.append(len(self._buf))
+            self._count_since_restart = 0
+            shared = 0
+        else:
+            shared = shared_prefix_len(self._last_key, key)
+        non_shared = key[shared:]
+        self._buf += encode_varint(shared)
+        self._buf += encode_varint(len(non_shared))
+        self._buf += encode_varint(len(value))
+        self._buf += non_shared
+        self._buf += value
+        self._last_key = key
+        self._count_since_restart += 1
+        self.num_entries += 1
+        if self.first_key is None:
+            self.first_key = key
+        self.last_key = key
+
+    def current_size_estimate(self) -> int:
+        """Serialized size if finished now (payload only, no trailer)."""
+        return len(self._buf) + 4 * len(self._restarts) + 4
+
+    def empty(self) -> bool:
+        return self.num_entries == 0
+
+    def finish(self) -> bytes:
+        """Serialize and return the block payload."""
+        out = bytearray(self._buf)
+        for offset in self._restarts:
+            out += encode_fixed32(offset)
+        out += encode_fixed32(len(self._restarts))
+        return bytes(out)

@@ -1,0 +1,265 @@
+"""Reading SSTables.
+
+A :class:`TableReader` opens a table file, loads the *latest* footer, index
+block, and filter blob (earlier sections' metadata is obsolete), and serves
+point lookups, scans, and the compaction primitives (block fetches, possibly
+concurrent).
+
+The read path for a point lookup follows Section V-A of the paper: bloom
+filter first, then the extended index block (which can reject keys falling
+between blocks without I/O), then exactly one data block.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from ..errors import CorruptionError
+from ..keys import ComparableKey, seek_comparable
+from ..options import Options
+from ..storage.fs import FileSystem
+from ..storage.io_stats import CAT_GET, CAT_OPEN, CAT_SCAN
+from .block import DataBlock
+from .filter_block import Filter, deserialize_filter
+from .format import BLOCK_TRAILER_SIZE, FOOTER_SIZE, Footer, unwrap_block
+from .index import IndexBlock, IndexEntry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from ..cache.block_cache import BlockCache
+
+
+class TableReader:
+    """Open handle on one SSTable file."""
+
+    def __init__(
+        self,
+        fs: FileSystem,
+        name: str,
+        file_number: int,
+        options: Options,
+        load_category: str = CAT_OPEN,
+    ):
+        self._fs = fs
+        self.name = name
+        self.file_number = file_number
+        self._options = options
+        #: Where metadata-load I/O is charged.  Tables opened eagerly right
+        #: after a compaction/flush built them (LevelDB's usability check)
+        #: charge that background category; lazily opened tables charge the
+        #: foreground ``open`` category.
+        self._load_category = load_category
+        self._handle = fs.open_random(name, category=load_category)
+        self._refs = 0
+        self._close_pending = False
+        self._load_metadata()
+
+    def _load_metadata(self) -> None:
+        """(Re)load the latest footer, index, and filter."""
+        cat = self._load_category
+        size = self._handle.size()
+        if size < FOOTER_SIZE:
+            raise CorruptionError(f"table {self.name!r} shorter than a footer")
+        footer_raw = self._handle.read(size - FOOTER_SIZE, FOOTER_SIZE, category=cat)
+        self.footer = Footer.deserialize(footer_raw)
+        self.file_size = size
+
+        idx = self.footer.index_handle
+        raw = self._handle.read(idx.offset, idx.size + BLOCK_TRAILER_SIZE, category=cat)
+        self.index: IndexBlock = IndexBlock.deserialize(
+            unwrap_block(raw, verify_checksum=self._options.verify_checksums)
+        )
+
+        self.filter: Filter | None = None
+        flt = self.footer.filter_handle
+        if not flt.is_null():
+            raw = self._handle.read(flt.offset, flt.size + BLOCK_TRAILER_SIZE, category=cat)
+            self.filter = deserialize_filter(
+                unwrap_block(raw, verify_checksum=self._options.verify_checksums)
+            )
+
+    def reload(self) -> None:
+        """Re-read metadata after an in-place append (Block Compaction)."""
+        self._load_metadata()
+
+    # -- basic accessors -----------------------------------------------------
+
+    @property
+    def num_entries(self) -> int:
+        return self.footer.num_entries
+
+    @property
+    def valid_bytes(self) -> int:
+        return self.footer.valid_data_bytes
+
+    def smallest_key(self) -> bytes | None:
+        return self.index.smallest_key()
+
+    def largest_key(self) -> bytes | None:
+        return self.index.largest_key()
+
+    def metadata_memory_bytes(self) -> tuple[int, int]:
+        """(index bytes, filter bytes) resident while this table is open —
+        the table-cache memory the paper measures in Fig 15."""
+        index_bytes = self.index.memory_bytes()
+        filter_bytes = self.filter.memory_bytes() if self.filter is not None else 0
+        return index_bytes, filter_bytes
+
+    # -- block access ----------------------------------------------------------
+
+    def read_block(
+        self,
+        entry: IndexEntry,
+        *,
+        category: str,
+        block_cache: "BlockCache | None" = None,
+        sequential: bool = False,
+    ) -> DataBlock:
+        """Fetch one data block, through the block cache when given."""
+        if block_cache is not None:
+            cached = block_cache.get(self.file_number, entry.offset)
+            if cached is not None:
+                return cached
+        raw = self._handle.read(
+            entry.offset,
+            entry.size + BLOCK_TRAILER_SIZE,
+            category=category,
+            sequential=sequential,
+        )
+        block = DataBlock.parse(
+            unwrap_block(raw, verify_checksum=self._options.verify_checksums)
+        )
+        if block_cache is not None:
+            block_cache.insert(self.file_number, entry.offset, block)
+        return block
+
+    def read_blocks_concurrently(
+        self,
+        entries: list[IndexEntry],
+        *,
+        category: str,
+        concurrency: int,
+    ) -> list[DataBlock]:
+        """Fetch several blocks as overlapping random reads — Algorithm 3's
+        multi-threaded dirty-block fetch, charged with the device's
+        internal-parallelism makespan."""
+        spans = [(e.offset, e.size + BLOCK_TRAILER_SIZE) for e in entries]
+        raws = self._handle.read_many(spans, category=category, concurrency=concurrency)
+        return [
+            DataBlock.parse(unwrap_block(raw, verify_checksum=self._options.verify_checksums))
+            for raw in raws
+        ]
+
+    # -- point lookup ------------------------------------------------------------
+
+    def get(
+        self,
+        user_key: bytes,
+        snapshot_sequence: int,
+        *,
+        block_cache: "BlockCache | None" = None,
+        category: str = CAT_GET,
+    ) -> tuple[bool, bytes | None]:
+        """Point lookup: ``(found, value-or-None-for-tombstone)``."""
+        found, value, _touched = self.lookup(
+            user_key, snapshot_sequence, block_cache=block_cache, category=category
+        )
+        return found, value
+
+    def lookup(
+        self,
+        user_key: bytes,
+        snapshot_sequence: int,
+        *,
+        block_cache: "BlockCache | None" = None,
+        category: str = CAT_GET,
+    ) -> tuple[bool, bytes | None, bool]:
+        """Point lookup that also reports whether a data block was fetched
+        (``touched``), the signal LevelDB's seek-compaction accounting needs:
+        fruitless lookups that cost real block I/O drain the file's seek
+        budget; lookups pruned by the filter or index do not."""
+        if self.filter is not None and not self.filter.may_contain(user_key):
+            return False, None, False
+        entry = self.index.find_candidate(user_key)
+        if entry is None:
+            return False, None, False
+        if self.filter is not None and not self.filter.may_contain_in_block(
+            entry.offset, user_key
+        ):
+            return False, None, False
+        block = self.read_block(entry, category=category, block_cache=block_cache)
+        found, value = block.get(user_key, snapshot_sequence)
+        return found, value, True
+
+    # -- scans ----------------------------------------------------------------------
+
+    def entries_from(
+        self,
+        seek: ComparableKey | None = None,
+        *,
+        category: str = CAT_SCAN,
+        block_cache: "BlockCache | None" = None,
+        sequential: bool = False,
+    ) -> Iterator[tuple[ComparableKey, bytes]]:
+        """Iterate entries in internal-key order starting at ``seek``.
+
+        Follows the index order (the logical sort), reading each valid block
+        as needed.  Reads are charged by *physical contiguity*: a block that
+        starts where the previous one ended continues a sequential read
+        (freshly table-compacted files are fully contiguous), while a jump —
+        the first block, or a block scattered by earlier Block Compactions —
+        pays a random read.  This is exactly the range-scan penalty of
+        block reuse the paper discusses (Section IV).
+        """
+        start = 0
+        if seek is not None:
+            start = self.index.first_overlapping(seek[0])
+        expected_offset: int | None = None
+        for i in range(start, len(self.index.entries)):
+            entry = self.index.entries[i]
+            contiguous = sequential or (
+                expected_offset is not None and entry.offset == expected_offset
+            )
+            expected_offset = entry.offset + entry.size + BLOCK_TRAILER_SIZE
+            block = self.read_block(
+                entry, category=category, block_cache=block_cache, sequential=contiguous
+            )
+            if seek is not None and i == start:
+                yield from block.entries_from(seek)
+            else:
+                yield from block.entries()
+
+    def get_all_user_keys(self, *, category: str) -> list[bytes]:
+        """Every live user key (reads all valid blocks) — filter rebuilds."""
+        keys: list[bytes] = []
+        for entry in self.index.entries:
+            block = self.read_block(entry, category=category)
+            keys.extend(block.user_keys())
+        return keys
+
+    def seek_first_entry(self, user_key: bytes) -> tuple[ComparableKey, bytes] | None:
+        """First entry at or after ``user_key`` (used by seek compaction
+        bookkeeping and tests)."""
+        for item in self.entries_from(seek_comparable(user_key)):
+            return item
+        return None
+
+    # -- lifetime ---------------------------------------------------------------
+
+    def acquire(self) -> None:
+        """Pin this reader open (long-lived iterators hold a pin so a table
+        cache eviction cannot close the file under them)."""
+        self._refs += 1
+
+    def release(self) -> None:
+        """Drop a pin; performs any close deferred while pinned."""
+        if self._refs <= 0:
+            raise RuntimeError("release without matching acquire")
+        self._refs -= 1
+        if self._refs == 0 and self._close_pending:
+            self._handle.close()
+
+    def close(self) -> None:
+        if self._refs > 0:
+            self._close_pending = True
+        else:
+            self._handle.close()

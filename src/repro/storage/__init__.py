@@ -1,0 +1,33 @@
+"""Storage substrate: filesystems, I/O accounting, and the SSD cost model."""
+
+from .device_model import DeviceModel
+from .fs import FileSystem, LocalFS, RandomAccessFile, SimulatedFS, WritableFile
+from .io_stats import (
+    CAT_COMPACTION,
+    CAT_FLUSH,
+    CAT_GET,
+    CAT_MANIFEST,
+    CAT_OPEN,
+    CAT_SCAN,
+    CAT_WAL,
+    CategoryCounters,
+    IOStats,
+)
+
+__all__ = [
+    "DeviceModel",
+    "FileSystem",
+    "LocalFS",
+    "RandomAccessFile",
+    "SimulatedFS",
+    "WritableFile",
+    "IOStats",
+    "CategoryCounters",
+    "CAT_WAL",
+    "CAT_FLUSH",
+    "CAT_COMPACTION",
+    "CAT_MANIFEST",
+    "CAT_GET",
+    "CAT_SCAN",
+    "CAT_OPEN",
+]

@@ -1,0 +1,329 @@
+"""Filesystem abstraction with byte-exact I/O accounting.
+
+Two implementations share one interface:
+
+* :class:`SimulatedFS` — in-memory byte arrays.  The default for tests,
+  benchmarks, and experiments: deterministic, fast, and still byte-exact,
+  because file contents are the same serialized bytes a real disk would see.
+* :class:`LocalFS` — real files under a directory, for users who want a
+  persistent store.
+
+Both charge every operation to an :class:`~repro.storage.io_stats.IOStats`
+and a :class:`~repro.storage.device_model.DeviceModel`, so write/space
+amplification and simulated running time are measured identically regardless
+of backend.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from abc import ABC, abstractmethod
+
+from ..errors import FileSystemError
+from .device_model import DeviceModel
+from .io_stats import IOStats
+
+
+class WritableFile:
+    """Append-only handle.  All engine writes are sequential appends."""
+
+    def __init__(self, fs: "FileSystem", name: str, category: str):
+        self._fs = fs
+        self._name = name
+        self._category = category
+        self._closed = False
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def append(self, data: bytes, category: str | None = None) -> None:
+        """Append ``data``, charging bytes and sequential-write time."""
+        if self._closed:
+            raise FileSystemError(f"append to closed file {self._name!r}")
+        self._fs._append(self._name, data)
+        cat = category or self._category
+        self._fs.stats.record_write(len(data), cat)
+        self._fs.stats.charge_time(self._fs.device.sequential_write_cost(len(data)), cat)
+
+    def size(self) -> int:
+        return self._fs.file_size(self._name)
+
+    def close(self) -> None:
+        self._closed = True
+
+    def __enter__(self) -> "WritableFile":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class RandomAccessFile:
+    """Positional-read handle."""
+
+    def __init__(self, fs: "FileSystem", name: str):
+        self._fs = fs
+        self._name = name
+        self._closed = False
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def read(self, offset: int, nbytes: int, *, category: str, sequential: bool = False) -> bytes:
+        """Read ``nbytes`` at ``offset``.
+
+        ``sequential`` selects the cost model: block-by-block table scans are
+        sequential; point lookups and dirty-block fetches are random.
+        """
+        if self._closed:
+            raise FileSystemError(f"read from closed file {self._name!r}")
+        data = self._fs._read(self._name, offset, nbytes)
+        self._fs.stats.record_read(len(data), category, random=not sequential)
+        if sequential:
+            self._fs.stats.charge_time(self._fs.device.sequential_read_cost(len(data)), category)
+        else:
+            self._fs.stats.charge_time(self._fs.device.random_read_cost(len(data)), category)
+        return data
+
+    def read_many(
+        self, spans: list[tuple[int, int]], *, category: str, concurrency: int = 1
+    ) -> list[bytes]:
+        """Read several ``(offset, nbytes)`` spans, charged as concurrent
+        random reads (Algorithm 3 reads dirty blocks with multiple threads).
+        """
+        if self._closed:
+            raise FileSystemError(f"read from closed file {self._name!r}")
+        chunks = [self._fs._read(self._name, off, n) for off, n in spans]
+        sizes = [len(c) for c in chunks]
+        for n in sizes:
+            self._fs.stats.record_read(n, category, random=True)
+        self._fs.stats.charge_time(
+            self._fs.device.parallel_random_read_cost(sizes, concurrency), category
+        )
+        return chunks
+
+    def size(self) -> int:
+        return self._fs.file_size(self._name)
+
+    def close(self) -> None:
+        self._closed = True
+
+    def __enter__(self) -> "RandomAccessFile":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class FileSystem(ABC):
+    """Common interface; see module docstring."""
+
+    def __init__(self, device: DeviceModel | None = None, stats: IOStats | None = None):
+        self.device = device or DeviceModel()
+        self.device.validate()
+        self.stats = stats or IOStats()
+        self._lock = threading.RLock()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def create_file(self, name: str, category: str = "flush") -> WritableFile:
+        """Create (or truncate) ``name`` and return an append handle."""
+        with self._lock:
+            self._create(name)
+            self.stats.files_created += 1
+        return WritableFile(self, name, category)
+
+    def open_append(self, name: str, category: str = "compaction") -> WritableFile:
+        """Reopen an existing file for appending (Block Compaction's tail writes)."""
+        if not self.exists(name):
+            raise FileSystemError(f"cannot append to missing file {name!r}")
+        return WritableFile(self, name, category)
+
+    def open_random(self, name: str, category: str = "meta") -> RandomAccessFile:
+        """Open ``name`` for positional reads, charging the open cost."""
+        if not self.exists(name):
+            raise FileSystemError(f"cannot open missing file {name!r}")
+        self.stats.charge_time(self.device.file_open_cost, category)
+        return RandomAccessFile(self, name)
+
+    def delete_file(self, name: str) -> None:
+        with self._lock:
+            self._delete(name)
+            self.stats.files_deleted += 1
+            self.stats.charge_time(self.device.file_delete_cost, "meta")
+
+    def scan_directory(self) -> list[str]:
+        """List all files, charging the directory-scan cost Lazy Deletion
+        exists to amortize (Section IV-C)."""
+        with self._lock:
+            names = self.list_dir()
+            self.stats.dir_scans += 1
+            self.stats.dir_scan_entries += len(names)
+            self.stats.charge_time(self.device.directory_scan_cost(len(names)), "meta")
+            return names
+
+    # -- abstract backend ops ------------------------------------------------
+
+    @abstractmethod
+    def _create(self, name: str) -> None: ...
+
+    @abstractmethod
+    def _append(self, name: str, data: bytes) -> None: ...
+
+    @abstractmethod
+    def _read(self, name: str, offset: int, nbytes: int) -> bytes: ...
+
+    @abstractmethod
+    def _delete(self, name: str) -> None: ...
+
+    @abstractmethod
+    def exists(self, name: str) -> bool: ...
+
+    @abstractmethod
+    def list_dir(self) -> list[str]: ...
+
+    @abstractmethod
+    def file_size(self, name: str) -> int: ...
+
+    @abstractmethod
+    def rename(self, old: str, new: str) -> None: ...
+
+    # -- derived ----------------------------------------------------------
+
+    def total_file_bytes(self) -> int:
+        """Sum of all current file sizes (space-amplification numerator)."""
+        with self._lock:
+            return sum(self.file_size(n) for n in self.list_dir())
+
+
+class SimulatedFS(FileSystem):
+    """In-memory filesystem: ``name -> bytearray``.  Thread-safe."""
+
+    def __init__(self, device: DeviceModel | None = None, stats: IOStats | None = None):
+        super().__init__(device, stats)
+        self._files: dict[str, bytearray] = {}
+
+    def _create(self, name: str) -> None:
+        self._files[name] = bytearray()
+
+    def _append(self, name: str, data: bytes) -> None:
+        with self._lock:
+            try:
+                self._files[name] += data
+            except KeyError:
+                raise FileSystemError(f"append to missing file {name!r}") from None
+
+    def _read(self, name: str, offset: int, nbytes: int) -> bytes:
+        with self._lock:
+            try:
+                buf = self._files[name]
+            except KeyError:
+                raise FileSystemError(f"read from missing file {name!r}") from None
+            if offset < 0 or offset + nbytes > len(buf):
+                raise FileSystemError(
+                    f"read [{offset}, {offset + nbytes}) out of bounds for "
+                    f"{name!r} of size {len(buf)}"
+                )
+            return bytes(buf[offset : offset + nbytes])
+
+    def _delete(self, name: str) -> None:
+        try:
+            del self._files[name]
+        except KeyError:
+            raise FileSystemError(f"delete of missing file {name!r}") from None
+
+    def exists(self, name: str) -> bool:
+        with self._lock:
+            return name in self._files
+
+    def list_dir(self) -> list[str]:
+        with self._lock:
+            return sorted(self._files)
+
+    def file_size(self, name: str) -> int:
+        with self._lock:
+            try:
+                return len(self._files[name])
+            except KeyError:
+                raise FileSystemError(f"size of missing file {name!r}") from None
+
+    def rename(self, old: str, new: str) -> None:
+        with self._lock:
+            try:
+                self._files[new] = self._files.pop(old)
+            except KeyError:
+                raise FileSystemError(f"rename of missing file {old!r}") from None
+
+
+class LocalFS(FileSystem):
+    """Real files under ``root``.  Same accounting as :class:`SimulatedFS`."""
+
+    def __init__(
+        self,
+        root: str,
+        device: DeviceModel | None = None,
+        stats: IOStats | None = None,
+    ):
+        super().__init__(device, stats)
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+
+    def _path(self, name: str) -> str:
+        path = os.path.join(self.root, name)
+        if os.path.commonpath([os.path.abspath(path), os.path.abspath(self.root)]) != os.path.abspath(
+            self.root
+        ):
+            raise FileSystemError(f"file name {name!r} escapes the store root")
+        return path
+
+    def _create(self, name: str) -> None:
+        with open(self._path(name), "wb"):
+            pass
+
+    def _append(self, name: str, data: bytes) -> None:
+        path = self._path(name)
+        if not os.path.exists(path):
+            raise FileSystemError(f"append to missing file {name!r}")
+        with open(path, "ab") as f:
+            f.write(data)
+
+    def _read(self, name: str, offset: int, nbytes: int) -> bytes:
+        path = self._path(name)
+        try:
+            with open(path, "rb") as f:
+                f.seek(offset)
+                data = f.read(nbytes)
+        except FileNotFoundError:
+            raise FileSystemError(f"read from missing file {name!r}") from None
+        if len(data) != nbytes:
+            raise FileSystemError(
+                f"read [{offset}, {offset + nbytes}) out of bounds for {name!r}"
+            )
+        return data
+
+    def _delete(self, name: str) -> None:
+        try:
+            os.remove(self._path(name))
+        except FileNotFoundError:
+            raise FileSystemError(f"delete of missing file {name!r}") from None
+
+    def exists(self, name: str) -> bool:
+        return os.path.exists(self._path(name))
+
+    def list_dir(self) -> list[str]:
+        return sorted(os.listdir(self.root))
+
+    def file_size(self, name: str) -> int:
+        try:
+            return os.path.getsize(self._path(name))
+        except FileNotFoundError:
+            raise FileSystemError(f"size of missing file {name!r}") from None
+
+    def rename(self, old: str, new: str) -> None:
+        try:
+            os.replace(self._path(old), self._path(new))
+        except FileNotFoundError:
+            raise FileSystemError(f"rename of missing file {old!r}") from None

@@ -1,0 +1,12 @@
+"""Offline inspection and repair tools for BlockDB stores."""
+
+from .repair import RepairReport, repair_store
+from .sst_dump import describe_manifest, describe_table, dump_table
+
+__all__ = [
+    "RepairReport",
+    "repair_store",
+    "describe_manifest",
+    "describe_table",
+    "dump_table",
+]

@@ -1,0 +1,59 @@
+"""CLI for the store-inspection tools.
+
+Usage::
+
+    python -m repro.tools <store-dir> <file.sst> [--entries [N]]
+    python -m repro.tools <store-dir> --manifest
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from ..storage.fs import LocalFS
+from .sst_dump import describe_manifest, describe_table, dump_table
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument schema (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools",
+        description="Inspect BlockDB store files offline.",
+    )
+    parser.add_argument("store", help="store directory (a LocalFS root)")
+    parser.add_argument("file", nargs="?", help="table file name, e.g. 000012.sst")
+    parser.add_argument("--manifest", action="store_true", help="dump the manifest instead")
+    parser.add_argument(
+        "--entries",
+        nargs="?",
+        const=50,
+        type=int,
+        metavar="N",
+        help="also decode up to N live entries (default 50)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point: describe a table file or replay the manifest."""
+    args = build_parser().parse_args(argv)
+    fs = LocalFS(args.store)
+    if args.manifest:
+        for line in describe_manifest(fs):
+            print(line)
+        return 0
+    if not args.file:
+        print("either a table file name or --manifest is required")
+        return 2
+    print(describe_table(fs, args.file).summary())
+    if args.entries:
+        print(f"\nfirst {args.entries} live entries:")
+        for user_key, sequence, value_type, value in dump_table(fs, args.file, limit=args.entries):
+            kind = "put" if value_type == 1 else "del"
+            shown = value[:32] + (b"..." if len(value) > 32 else b"")
+            print(f"  {kind} seq={sequence:<8} {user_key!r} = {shown!r}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,180 @@
+"""Store repair — LevelDB's ``RepairDB`` analogue.
+
+When the manifest chain is lost or damaged (deleted ``CURRENT``, corrupt
+manifest), the data usually still exists: SSTable files are self-describing
+(footer → index → blocks) and WAL files replay into tables.  Repair:
+
+1. scans the directory for ``*.sst`` files, reading each one's live footer
+   and index (corrupt or truncated tables are set aside, not deleted);
+2. converts any ``*.log`` WAL files into fresh L0 tables;
+3. registers every salvaged table at level 0 — overlap is legal there, and
+   ordinary compactions re-sort everything on the next open;
+4. writes a fresh manifest + ``CURRENT`` with the recovered sequence number
+   and file-number horizon.
+
+Like LevelDB's repairer, this recovers *committed* data but forgets level
+assignments; some duplicate versions may temporarily coexist until
+compaction cleans up (newest wins at read time regardless).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.manifest import ManifestWriter, set_current
+from ..core.version import FileMetadata, VersionEdit, new_file_metadata
+from ..core.write_batch import WriteBatch
+from ..errors import CorruptionError, FileSystemError, ReproError
+from ..keys import sequence_of
+from ..memtable.memtable import MemTable
+from ..memtable.wal import read_wal
+from ..core.flush import flush_memtable
+from ..options import Options
+from ..sstable.table_reader import TableReader
+from ..storage.fs import FileSystem
+
+
+@dataclass
+class RepairReport:
+    """What a repair pass found and rebuilt."""
+
+    tables_recovered: int = 0
+    entries_recovered: int = 0
+    logs_converted: int = 0
+    corrupt_files: list[str] = field(default_factory=list)
+    max_sequence: int = 0
+    manifest_name: str = ""
+
+    def summary(self) -> str:
+        """One-paragraph human-readable outcome."""
+        lines = [
+            f"recovered {self.tables_recovered} table(s), "
+            f"{self.entries_recovered} live entries, "
+            f"converted {self.logs_converted} WAL file(s); "
+            f"sequence horizon {self.max_sequence}",
+            f"manifest: {self.manifest_name}",
+        ]
+        if self.corrupt_files:
+            lines.append("set aside as corrupt: " + ", ".join(self.corrupt_files))
+        return "\n".join(lines)
+
+
+def _salvage_table(
+    fs: FileSystem, name: str, options: Options
+) -> FileMetadata | None:
+    """Metadata for a readable table, or None when it is damaged."""
+    try:
+        reader = TableReader(fs, name, file_number=int(name.split(".")[0]), options=options)
+    except (CorruptionError, FileSystemError, ValueError):
+        return None
+    try:
+        if reader.num_entries == 0 or reader.smallest_key() is None:
+            return None
+
+        class _Info:
+            file_name = name
+            file_size = reader.file_size
+            valid_bytes = reader.valid_bytes
+            num_entries = reader.num_entries
+            smallest = reader.smallest_key()
+            largest = reader.largest_key()
+
+        return new_file_metadata(
+            reader.file_number,
+            _Info,
+            allowed_seeks_divisor=options.seek_compaction_bytes_per_seek,
+            min_allowed_seeks=options.seek_compaction_min_seeks,
+        )
+    finally:
+        reader.close()
+
+
+def _convert_log(
+    fs: FileSystem, name: str, options: Options, file_number: int
+) -> tuple[FileMetadata | None, int]:
+    """Replay one WAL into an L0 table; returns (metadata, max sequence)."""
+    memtable = MemTable()
+    max_sequence = 0
+    try:
+        for payload in read_wal(fs, name):
+            batch, base_sequence = WriteBatch.deserialize(payload)
+            sequence = base_sequence
+            for value_type, key, value in batch:
+                memtable.add(sequence, value_type, key, value)
+                sequence += 1
+            max_sequence = max(max_sequence, sequence - 1)
+    except (CorruptionError, FileSystemError):
+        # salvage what replayed before the damage
+        pass
+    if len(memtable) == 0:
+        return None, max_sequence
+    memtable.freeze()
+    return flush_memtable(fs, options, memtable, file_number), max_sequence
+
+
+def repair_store(fs: FileSystem, options: Options | None = None) -> RepairReport:
+    """Rebuild the store's manifest from whatever files survive.
+
+    Safe on a healthy store too (it simply re-registers everything at L0).
+    Never deletes data files; damaged ones are reported, not removed.
+    """
+    options = options or Options()
+    options.validate()
+    report = RepairReport()
+    tables: list[FileMetadata] = []
+    max_file_number = 0
+
+    names = fs.scan_directory()
+    for name in names:
+        if name.endswith(".sst"):
+            meta = _salvage_table(fs, name, options)
+            if meta is None:
+                report.corrupt_files.append(name)
+                continue
+            tables.append(meta)
+            max_file_number = max(max_file_number, meta.file_number)
+            report.tables_recovered += 1
+            report.entries_recovered += meta.num_entries
+            # the newest surviving version bounds the sequence horizon
+            report.max_sequence = max(report.max_sequence, sequence_of(meta.largest))
+
+    for name in names:
+        if name.endswith(".log"):
+            max_file_number += 1
+            meta, log_seq = _convert_log(fs, name, options, max_file_number)
+            report.max_sequence = max(report.max_sequence, log_seq)
+            if meta is not None:
+                tables.append(meta)
+                report.logs_converted += 1
+                report.tables_recovered += 1
+                report.entries_recovered += meta.num_entries
+                report.max_sequence = max(report.max_sequence, sequence_of(meta.largest))
+
+    # The sequence horizon must cover every surviving entry (a file's
+    # largest *key* does not carry its largest *sequence*); repair can
+    # afford the full scan.
+    from ..keys import comparable_parts
+
+    for meta in tables:
+        reader = TableReader(fs, meta.file_name(), meta.file_number, options)
+        try:
+            for comparable, _value in reader.entries_from(category="open"):
+                _user, sequence, _vt = comparable_parts(comparable)
+                if sequence > report.max_sequence:
+                    report.max_sequence = sequence
+        finally:
+            reader.close()
+
+    manifest_number = max_file_number + 1
+    writer = ManifestWriter(fs, manifest_number)
+    edit = VersionEdit(
+        log_number=0,
+        next_file_number=manifest_number + 1,
+        last_sequence=report.max_sequence,
+        new_files=[(0, meta) for meta in tables],
+    )
+    writer.log_edit(edit)
+    writer.close()
+    set_current(fs, manifest_number)
+    report.manifest_name = f"MANIFEST-{manifest_number:06d}"
+    return report

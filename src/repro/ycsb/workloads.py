@@ -1,0 +1,91 @@
+"""YCSB workload definitions (paper Table III + the scan workloads).
+
+Keys are 32 bytes (``user`` + zero-padded ordinal, padded to width), values
+1 KB by default, matching Section V-B.  Two write modes mirror the paper's
+distinction: *insertions* put keys that don't exist yet, *updates* rewrite
+existing keys chosen by the request distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+DEFAULT_KEY_SIZE = 32
+DEFAULT_VALUE_SIZE = 1024
+
+
+def make_key(ordinal: int, key_size: int = DEFAULT_KEY_SIZE) -> bytes:
+    """Deterministic fixed-width key for ``ordinal``."""
+    body = f"user{ordinal:020d}".encode()
+    if len(body) > key_size:
+        raise ValueError(f"key_size {key_size} too small")
+    return body.ljust(key_size, b"k")
+
+
+def make_value(ordinal: int, generation: int = 0, value_size: int = DEFAULT_VALUE_SIZE) -> bytes:
+    """Deterministic value; ``generation`` distinguishes update rounds so
+    tests can verify that the newest version wins."""
+    stamp = f"value-{ordinal}-{generation}-".encode()
+    if value_size <= len(stamp):
+        return stamp[:value_size]
+    return stamp + b"v" * (value_size - len(stamp))
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Operation mix for one YCSB run.
+
+    ``read_ratio`` + ``write_ratio`` + ``scan_ratio`` must sum to 1.
+    ``write_mode`` is ``insert`` (grow the key space) or ``update``.
+    ``zipf`` is the skew of reads / updates / scan-start keys; None means
+    uniform.
+    """
+
+    name: str
+    read_ratio: float
+    write_ratio: float
+    scan_ratio: float = 0.0
+    write_mode: str = "insert"
+    zipf: float | None = 0.9
+    scan_min_len: int = 1
+    scan_max_len: int = 100
+
+    def __post_init__(self):
+        total = self.read_ratio + self.write_ratio + self.scan_ratio
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"ratios of {self.name} sum to {total}, expected 1")
+        if self.write_mode not in ("insert", "update"):
+            raise ValueError(f"unknown write_mode {self.write_mode!r}")
+
+    def with_mode(self, write_mode: str) -> "WorkloadSpec":
+        import dataclasses
+
+        return dataclasses.replace(self, write_mode=write_mode)
+
+
+# Table III: point-query mixes.  The paper runs them once with insertions
+# (Fig 11) and once with updates (Fig 12).
+WRITE_ONLY = WorkloadSpec("WO", read_ratio=0.0, write_ratio=1.0)
+WRITE_HEAVY = WorkloadSpec("WH", read_ratio=0.2, write_ratio=0.8)
+BALANCED = WorkloadSpec("RW", read_ratio=0.5, write_ratio=0.5)
+READ_HEAVY = WorkloadSpec("RH", read_ratio=0.8, write_ratio=0.2)
+READ_ONLY = WorkloadSpec("RO", read_ratio=1.0, write_ratio=0.0)
+
+STANDARD_WORKLOADS = [WRITE_ONLY, WRITE_HEAVY, BALANCED, READ_HEAVY, READ_ONLY]
+
+# Section V-G: range-scan mixes (reads are scans; writes are insertions;
+# scan lengths uniform in [1, 100]; start keys Zipfian 0.9).
+SCAN_RO = WorkloadSpec("SCAN-RO", read_ratio=0.0, write_ratio=0.0, scan_ratio=1.0)
+SCAN_RH = WorkloadSpec("SCAN-RH", read_ratio=0.0, write_ratio=0.2, scan_ratio=0.8)
+SCAN_BA = WorkloadSpec("SCAN-BA", read_ratio=0.0, write_ratio=0.5, scan_ratio=0.5)
+SCAN_WH = WorkloadSpec("SCAN-WH", read_ratio=0.0, write_ratio=0.8, scan_ratio=0.2)
+
+SCAN_WORKLOADS = [SCAN_RO, SCAN_RH, SCAN_BA, SCAN_WH]
+
+
+def by_name(name: str) -> WorkloadSpec:
+    """Look up a standard or scan workload by its paper name."""
+    for spec in STANDARD_WORKLOADS + SCAN_WORKLOADS:
+        if spec.name == name:
+            return spec
+    raise KeyError(name)

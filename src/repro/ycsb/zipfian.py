@@ -1,0 +1,92 @@
+"""Key-choosing distributions (YCSB-compatible).
+
+Implements YCSB's Zipfian generator (the Gray et al. rejection-free method
+with precomputed zeta) and the scrambled variant that spreads the hot items
+across the key space — the paper's workloads use scrambled Zipfian with
+``zipf`` (theta) 0.7-0.99 and uniform.  All generators are seeded and
+deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+
+
+def fnv1a_64(value: int) -> int:
+    """64-bit FNV-1a hash of an integer's 8 little-endian bytes."""
+    h = _FNV_OFFSET
+    for _ in range(8):
+        h ^= value & 0xFF
+        h = (h * _FNV_PRIME) & 0xFFFFFFFFFFFFFFFF
+        value >>= 8
+    return h
+
+
+class UniformGenerator:
+    """Uniform integers in ``[0, n)``."""
+
+    def __init__(self, n: int, seed: int = 0):
+        if n <= 0:
+            raise ValueError("n must be positive")
+        self.n = n
+        self._rng = random.Random(seed)
+
+    def next(self) -> int:
+        return self._rng.randrange(self.n)
+
+
+class ZipfianGenerator:
+    """Zipfian integers in ``[0, n)``; item 0 is the most popular.
+
+    ``theta`` is YCSB's skew constant (the paper's ``zipf`` parameter —
+    0.9 by default, up to 0.99 in Fig 13).
+    """
+
+    def __init__(self, n: int, theta: float = 0.99, seed: int = 0):
+        if n <= 0:
+            raise ValueError("n must be positive")
+        if not 0.0 < theta < 1.0:
+            raise ValueError("theta must be in (0, 1)")
+        self.n = n
+        self.theta = theta
+        self._rng = random.Random(seed)
+        self._zetan = self._zeta(n, theta)
+        self._zeta2 = self._zeta(2, theta)
+        self._alpha = 1.0 / (1.0 - theta)
+        self._eta = (1 - (2.0 / n) ** (1 - theta)) / (1 - self._zeta2 / self._zetan)
+
+    @staticmethod
+    def _zeta(n: int, theta: float) -> float:
+        return sum(1.0 / (i ** theta) for i in range(1, n + 1))
+
+    def next(self) -> int:
+        u = self._rng.random()
+        uz = u * self._zetan
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5 ** self.theta:
+            return 1
+        return int(self.n * (self._eta * u - self._eta + 1) ** self._alpha)
+
+
+class ScrambledZipfianGenerator:
+    """Zipfian popularity spread uniformly over the key space via FNV
+    hashing — YCSB's default for request keys, and what keeps the paper's
+    skewed workloads from concentrating on one SSTable."""
+
+    def __init__(self, n: int, theta: float = 0.99, seed: int = 0):
+        self.n = n
+        self._zipf = ZipfianGenerator(n, theta, seed)
+
+    def next(self) -> int:
+        return fnv1a_64(self._zipf.next()) % self.n
+
+
+def make_generator(n: int, zipf: float | None, seed: int = 0):
+    """Uniform when ``zipf`` is None, scrambled Zipfian otherwise."""
+    if zipf is None:
+        return UniformGenerator(n, seed)
+    return ScrambledZipfianGenerator(n, zipf, seed)

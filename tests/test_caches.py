@@ -1,0 +1,204 @@
+"""LRU, block cache, and table cache tests."""
+
+import pytest
+
+from repro.cache.block_cache import BlockCache
+from repro.cache.lru import LRUCache
+from repro.cache.table_cache import TableCache
+from repro.keys import TYPE_VALUE, make_internal_key
+from repro.options import Options
+from repro.sstable import TableBuilder
+from repro.sstable.block import DataBlock
+from repro.sstable.block_builder import BlockBuilder
+from repro.storage.fs import SimulatedFS
+
+
+def make_block(n=4) -> DataBlock:
+    builder = BlockBuilder()
+    for i in range(n):
+        builder.add(make_internal_key(b"k%03d" % i, 1, TYPE_VALUE), b"v" * 20)
+    return DataBlock.parse(builder.finish())
+
+
+class TestLRU:
+    def test_get_miss_then_hit(self):
+        lru = LRUCache(100)
+        assert lru.get("a") is None
+        lru.insert("a", 1, charge=10)
+        assert lru.get("a") == 1
+        assert lru.stats.hits == 1 and lru.stats.misses == 1
+
+    def test_eviction_by_charge(self):
+        lru = LRUCache(100)
+        for i in range(12):
+            lru.insert(i, i, charge=10)
+        assert lru.usage <= 100
+        assert lru.stats.evictions == 2
+        assert 0 not in lru and 1 not in lru
+        assert 11 in lru
+
+    def test_recency_protects_entries(self):
+        lru = LRUCache(30)
+        lru.insert("a", 1, charge=10)
+        lru.insert("b", 2, charge=10)
+        lru.insert("c", 3, charge=10)
+        lru.get("a")  # refresh
+        lru.insert("d", 4, charge=10)
+        assert "a" in lru and "b" not in lru
+
+    def test_replace_updates_charge(self):
+        lru = LRUCache(100)
+        lru.insert("a", 1, charge=60)
+        lru.insert("a", 2, charge=10)
+        assert lru.usage == 10
+        assert lru.get("a") == 2
+
+    def test_oversized_entry_not_retained(self):
+        lru = LRUCache(10)
+        lru.insert("big", 1, charge=100)
+        assert "big" not in lru
+        assert lru.usage == 0
+
+    def test_invalidate_where(self):
+        lru = LRUCache(100)
+        for i in range(5):
+            lru.insert(("f", i), i, charge=1)
+        removed = lru.invalidate_where(lambda k: k[1] % 2 == 0)
+        assert removed == 3
+        assert lru.stats.invalidations == 3
+        assert lru.stats.evictions == 0
+
+    def test_erase_and_clear(self):
+        lru = LRUCache(100)
+        lru.insert("a", 1)
+        assert lru.erase("a")
+        assert not lru.erase("a")
+        lru.insert("b", 2)
+        lru.clear()
+        assert len(lru) == 0 and lru.usage == 0
+
+    def test_on_evict_callback(self):
+        closed = []
+        lru = LRUCache(2, on_evict=lambda k, v: closed.append(k))
+        lru.insert("a", 1, charge=1)
+        lru.insert("b", 2, charge=1)
+        lru.insert("c", 3, charge=1)
+        assert closed == ["a"]
+        lru.erase("b")
+        assert closed == ["a", "b"]
+
+    def test_peek_does_not_touch(self):
+        lru = LRUCache(100)
+        lru.insert("a", 1)
+        assert lru.peek("a") == 1
+        assert lru.stats.hits == 0
+
+    def test_hit_rate(self):
+        lru = LRUCache(100)
+        lru.insert("a", 1)
+        lru.get("a")
+        lru.get("b")
+        assert lru.hit_rate() == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LRUCache(-1)
+        with pytest.raises(ValueError):
+            LRUCache(10).insert("a", 1, charge=-1)
+
+
+class TestBlockCache:
+    def test_keyed_by_file_and_offset(self):
+        cache = BlockCache(10_000)
+        block = make_block()
+        cache.insert(1, 0, block)
+        cache.insert(1, 512, block)
+        cache.insert(2, 0, block)
+        assert cache.get(1, 0) is block
+        assert cache.get(9, 0) is None
+        assert len(cache) == 3
+
+    def test_invalidate_file_kills_all_its_blocks(self):
+        """Table Compaction's effect: the whole file's entries die."""
+        cache = BlockCache(10_000)
+        block = make_block()
+        for off in (0, 512, 1024):
+            cache.insert(1, off, block)
+        cache.insert(2, 0, block)
+        assert cache.invalidate_file(1) == 3
+        assert cache.get(2, 0) is block
+        assert cache.stats.invalidations == 3
+
+    def test_invalidate_blocks_spares_clean_ones(self):
+        """Block Compaction's effect: only dirty blocks die."""
+        cache = BlockCache(10_000)
+        block = make_block()
+        for off in (0, 512, 1024):
+            cache.insert(1, off, block)
+        assert cache.invalidate_blocks(1, {512}) == 1
+        assert cache.get(1, 0) is block
+        assert cache.get(1, 1024) is block
+        assert cache.get(1, 512) is None
+
+    def test_charged_by_block_size(self):
+        block = make_block()
+        cache = BlockCache(block.memory_bytes() * 2)
+        cache.insert(1, 0, block)
+        cache.insert(1, 512, block)
+        cache.insert(1, 1024, block)
+        assert len(cache) == 2  # third insert evicted the LRU entry
+        assert cache.usage <= cache.capacity
+
+
+class TestTableCache:
+    def _build(self, fs, options, name, n=10):
+        builder = TableBuilder(fs, name, options, level=1)
+        for i in range(n):
+            builder.add(make_internal_key(b"%s-%03d" % (name.encode(), i), 1, TYPE_VALUE), b"v")
+        return builder.finish()
+
+    def test_caches_open_readers(self):
+        fs = SimulatedFS()
+        options = Options(block_size=256, sstable_size=4096, memtable_size=4096)
+        self._build(fs, options, "000001.sst")
+        cache = TableCache(fs, options)
+        r1 = cache.get(1, "000001.sst")
+        r2 = cache.get(1, "000001.sst")
+        assert r1 is r2
+        assert cache.stats.hits == 1
+
+    def test_capacity_evicts_and_closes(self):
+        fs = SimulatedFS()
+        options = Options(
+            block_size=256, sstable_size=4096, memtable_size=4096, table_cache_capacity=2
+        )
+        for i in range(1, 4):
+            self._build(fs, options, f"{i:06d}.sst")
+        cache = TableCache(fs, options)
+        for i in range(1, 4):
+            cache.get(i, f"{i:06d}.sst")
+        assert len(cache) == 2
+
+    def test_memory_cost_sums_cached_tables(self):
+        fs = SimulatedFS()
+        options = Options(block_size=256, sstable_size=4096, memtable_size=4096)
+        for i in range(1, 3):
+            self._build(fs, options, f"{i:06d}.sst")
+        cache = TableCache(fs, options)
+        assert cache.memory_cost().total == 0
+        cache.get(1, "000001.sst")
+        one = cache.memory_cost()
+        cache.get(2, "000002.sst")
+        two = cache.memory_cost()
+        assert two.index_bytes > one.index_bytes
+        assert two.filter_bytes > one.filter_bytes
+        assert two.total == two.index_bytes + two.filter_bytes
+
+    def test_evict_forgets_file(self):
+        fs = SimulatedFS()
+        options = Options(block_size=256, sstable_size=4096, memtable_size=4096)
+        self._build(fs, options, "000001.sst")
+        cache = TableCache(fs, options)
+        cache.get(1, "000001.sst")
+        cache.evict(1)
+        assert len(cache) == 0

@@ -1,0 +1,33 @@
+"""Tests for the ``python -m repro.experiments`` command-line interface."""
+
+import pytest
+
+from repro.experiments.__main__ import EXPERIMENTS, build_parser, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("table2", "fig5", "fig18"):
+            assert name in out
+
+    def test_every_paper_item_has_an_entry(self):
+        expected = {"table2"} | {f"fig{i}" for i in range(5, 19)}
+        assert set(EXPERIMENTS) == expected
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["figure-nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_runs_cost_free_experiment(self, capsys):
+        # fig15 at a microscopic scale completes quickly and prints a table
+        assert main(["fig15", "--keys-per-gb", "60", "--value-size", "256"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 15" in out
+        assert "BlockDB" in out
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["fig7"])
+        assert args.keys_per_gb > 0
+        assert args.value_size > 0

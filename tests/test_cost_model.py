@@ -1,0 +1,96 @@
+"""Analytic cost model tests (paper Section III-D, Eqs 1-4, Table I)."""
+
+import math
+
+import pytest
+
+from repro.analysis.cost_model import (
+    PaperExample,
+    block_beats_table,
+    crossover_kv_size,
+    num_levels,
+    write_cost_block,
+    write_cost_table,
+)
+
+
+class TestEq1Levels:
+    def test_paper_example_levels(self):
+        # D=40GB, M=10MB, a=10 -> ceil(log10(4096 * 0.9)) = 4
+        levels = num_levels(40 * 1024**3, 10 * 1024**2, 10)
+        assert levels == 4
+
+    def test_grows_with_data(self):
+        small = num_levels(1 * 1024**3, 10 * 1024**2, 10)
+        large = num_levels(100 * 1024**3, 10 * 1024**2, 10)
+        assert large > small
+
+    def test_shrinks_with_fanout(self):
+        narrow = num_levels(40 * 1024**3, 10 * 1024**2, 4)
+        wide = num_levels(40 * 1024**3, 10 * 1024**2, 20)
+        assert wide < narrow
+
+    def test_tiny_data_single_level(self):
+        assert num_levels(1024, 10 * 1024**2, 10) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            num_levels(0, 10, 10)
+        with pytest.raises(ValueError):
+            num_levels(10, 10, 1)
+
+
+class TestEq2Eq3Costs:
+    def test_table_cost_formula(self):
+        # k/B + k/B * (a+1) * N with k=1KB, B=4KB, a=10, N=4
+        expected = 0.25 + 0.25 * 11 * 4
+        assert write_cost_table(1024, 4096, 10, 4) == pytest.approx(expected)
+
+    def test_block_cost_formula(self):
+        # k/B + k/B * (B/k + 1) * N
+        expected = 0.25 + 0.25 * 5 * 4
+        assert write_cost_block(1024, 4096, 4) == pytest.approx(expected)
+
+    def test_table_cost_sensitive_to_fanout_block_cost_not(self):
+        """The cost model's core claim (Section III-D)."""
+        t10 = write_cost_table(1024, 4096, 10, 4)
+        t20 = write_cost_table(1024, 4096, 20, 4)
+        assert t20 > t10
+        # block compaction has no 'a' dependence at all
+        assert write_cost_block(1024, 4096, 4) == write_cost_block(1024, 4096, 4)
+
+    def test_both_grow_with_levels(self):
+        assert write_cost_table(1024, 4096, 10, 5) > write_cost_table(1024, 4096, 10, 4)
+        assert write_cost_block(1024, 4096, 5) > write_cost_block(1024, 4096, 4)
+
+
+class TestEq4Comparison:
+    def test_paper_configuration_block_wins(self):
+        assert block_beats_table(1024, 4096, 10, 4)
+
+    def test_small_pairs_degenerate(self):
+        """Paper: 'When meeting small data, Block Compaction may degenerate'
+        — with B/k > a the block cost exceeds the table cost."""
+        assert not block_beats_table(64, 4096, 10, 4)
+
+    def test_crossover_point(self):
+        k_star = crossover_kv_size(4096, 10)
+        assert k_star == pytest.approx(409.6)
+        eps = 1.0
+        assert block_beats_table(int(k_star + eps) + 1, 4096, 10, 4)
+        assert not block_beats_table(int(k_star - eps), 4096, 10, 4)
+
+
+class TestPaperExample:
+    def test_table_i_numbers(self):
+        ex = PaperExample()
+        assert ex.data_size == 40 * 1024**3
+        assert ex.block_size == 4096
+        assert ex.kv_size == 1024
+        assert ex.amplification_ratio == 10
+
+    def test_eq4_holds(self):
+        ex = PaperExample()
+        assert ex.block_wins()
+        # Block compaction's advantage is substantial, not marginal
+        assert ex.table_cost() / ex.block_cost() > 2.0

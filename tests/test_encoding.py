@@ -1,0 +1,144 @@
+"""Unit and property tests for the binary encoding primitives."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.encoding import (
+    crc32c,
+    decode_fixed32,
+    decode_fixed64,
+    decode_varint,
+    encode_fixed32,
+    encode_fixed64,
+    encode_varint,
+    get_length_prefixed,
+    put_length_prefixed,
+    shared_prefix_len,
+)
+from repro.errors import CorruptionError
+
+
+class TestFixedWidth:
+    def test_fixed32_roundtrip(self):
+        for value in (0, 1, 255, 2**16, 2**32 - 1):
+            assert decode_fixed32(encode_fixed32(value)) == value
+
+    def test_fixed32_is_little_endian(self):
+        assert encode_fixed32(1) == b"\x01\x00\x00\x00"
+
+    def test_fixed64_roundtrip(self):
+        for value in (0, 1, 2**32, 2**64 - 1):
+            assert decode_fixed64(encode_fixed64(value)) == value
+
+    def test_fixed_decode_at_offset(self):
+        buf = b"junk" + encode_fixed32(77) + encode_fixed64(88)
+        assert decode_fixed32(buf, 4) == 77
+        assert decode_fixed64(buf, 8) == 88
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_fixed64_roundtrip_property(self, value):
+        assert decode_fixed64(encode_fixed64(value)) == value
+
+
+class TestVarint:
+    def test_small_values_use_one_byte(self):
+        for value in range(128):
+            assert len(encode_varint(value)) == 1
+
+    def test_boundaries(self):
+        assert encode_varint(127) == b"\x7f"
+        assert encode_varint(128) == b"\x80\x01"
+        assert decode_varint(encode_varint(128)) == (128, 2)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            encode_varint(-1)
+
+    def test_truncated_raises(self):
+        with pytest.raises(CorruptionError):
+            decode_varint(b"\x80")
+
+    def test_too_long_raises(self):
+        with pytest.raises(CorruptionError):
+            decode_varint(b"\xff" * 11)
+
+    def test_decode_returns_next_offset(self):
+        buf = encode_varint(300) + encode_varint(5)
+        value, offset = decode_varint(buf)
+        assert value == 300
+        value, offset = decode_varint(buf, offset)
+        assert (value, offset) == (5, len(buf))
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_roundtrip_property(self, value):
+        encoded = encode_varint(value)
+        assert decode_varint(encoded) == (value, len(encoded))
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**40), max_size=20))
+    def test_sequence_roundtrip(self, values):
+        buf = b"".join(encode_varint(v) for v in values)
+        offset = 0
+        decoded = []
+        for _ in values:
+            value, offset = decode_varint(buf, offset)
+            decoded.append(value)
+        assert decoded == values
+        assert offset == len(buf)
+
+
+class TestLengthPrefixed:
+    def test_roundtrip(self):
+        out = bytearray()
+        put_length_prefixed(out, b"hello")
+        put_length_prefixed(out, b"")
+        data, offset = get_length_prefixed(bytes(out))
+        assert data == b"hello"
+        data, offset = get_length_prefixed(bytes(out), offset)
+        assert data == b""
+        assert offset == len(out)
+
+    def test_truncated_raises(self):
+        out = bytearray()
+        put_length_prefixed(out, b"hello")
+        with pytest.raises(CorruptionError):
+            get_length_prefixed(bytes(out[:-1]))
+
+    @given(st.lists(st.binary(max_size=100), max_size=10))
+    def test_roundtrip_property(self, chunks):
+        out = bytearray()
+        for chunk in chunks:
+            put_length_prefixed(out, chunk)
+        offset = 0
+        decoded = []
+        for _ in chunks:
+            data, offset = get_length_prefixed(bytes(out), offset)
+            decoded.append(data)
+        assert decoded == chunks
+
+
+class TestSharedPrefix:
+    def test_basic(self):
+        assert shared_prefix_len(b"abcdef", b"abcxyz") == 3
+        assert shared_prefix_len(b"", b"abc") == 0
+        assert shared_prefix_len(b"same", b"same") == 4
+        assert shared_prefix_len(b"ab", b"abcd") == 2
+
+    @given(st.binary(max_size=50), st.binary(max_size=50))
+    def test_property(self, a, b):
+        n = shared_prefix_len(a, b)
+        assert a[:n] == b[:n]
+        if n < min(len(a), len(b)):
+            assert a[n] != b[n]
+
+
+class TestChecksum:
+    def test_deterministic_and_sensitive(self):
+        assert crc32c(b"payload") == crc32c(b"payload")
+        assert crc32c(b"payload") != crc32c(b"payloae")
+
+    def test_empty_input(self):
+        assert isinstance(crc32c(b""), int)
+
+    @given(st.binary(max_size=200))
+    def test_fits_32_bits(self, data):
+        assert 0 <= crc32c(data) < 2**32

@@ -1,0 +1,74 @@
+"""Endurance: sustained churn must keep space bounded and data correct.
+
+An LSM engine that leaks obsolete bytes, grows its tree without bound, or
+degrades reads under churn fails these. Marked slow; run with the suite.
+"""
+
+import random
+
+import pytest
+
+from conftest import kv, make_db
+from repro.metrics.amplification import current_space_bytes
+
+
+@pytest.mark.slow
+class TestChurnEndurance:
+    @pytest.mark.parametrize("style", ["table", "selective"])
+    def test_sustained_overwrite_churn(self, style):
+        """Ten full overwrite rounds of a fixed keyspace: disk usage must
+        plateau, not grow linearly with write volume."""
+        db = make_db(style)
+        n = 250
+        peak_per_round = []
+        for round_no in range(10):
+            order = list(range(n))
+            random.Random(round_no).shuffle(order)
+            for i in order:
+                db.put(kv(i)[0], b"r%02d-" % round_no + b"x" * 40)
+            peak_per_round.append(current_space_bytes(db))
+        # last rounds should be no bigger than ~2x the first full round
+        assert max(peak_per_round[5:]) < peak_per_round[0] * 2.5
+        for i in range(n):
+            assert db.get(kv(i)[0]).startswith(b"r09-")
+        db.close()
+
+    def test_insert_delete_cycles_fully_reclaim(self):
+        """Write-then-delete cycles: a full manual compaction at the end
+        returns the store to (near) empty."""
+        db = make_db("selective")
+        for cycle in range(4):
+            for i in range(200):
+                db.put(kv(i)[0], b"c%d" % cycle + b"y" * 30)
+            for i in range(200):
+                db.delete(kv(i)[0])
+        db.compact_all()
+        assert db.scan() == []
+        assert sum(db.level_sizes()) == 0
+        db.close()
+
+    def test_read_latency_does_not_degrade_with_churn(self):
+        """Simulated per-get cost after heavy churn stays within a small
+        multiple of the fresh-load cost (no unbounded fragmentation)."""
+        db = make_db("selective")
+        n = 250
+
+        def measure_gets() -> float:
+            start = db.io_stats.sim_time_s
+            for i in range(0, n, 3):
+                db.get(kv(i)[0])
+            return db.io_stats.sim_time_s - start
+
+        order = list(range(n))
+        random.Random(0).shuffle(order)
+        for i in order:
+            db.put(*kv(i))
+        fresh_cost = measure_gets()
+
+        for round_no in range(6):
+            random.Random(round_no + 1).shuffle(order)
+            for i in order:
+                db.put(kv(i)[0], b"r%d" % round_no + b"z" * 40)
+        churned_cost = measure_gets()
+        assert churned_cost < fresh_cost * 4 + 1e-4
+        db.close()

@@ -1,0 +1,53 @@
+"""Smoke tests: every example script runs to completion and prints what its
+docstring promises."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=420,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "engine statistics" in out
+        assert "write amplification" in out
+        assert "snapshot view" in out
+
+    def test_compaction_anatomy(self):
+        out = run_example("compaction_anatomy.py")
+        assert "FindDirtyBlocks" in out
+        assert "clean blocks reused" in out
+        assert out.count("[OK]") == 4
+        assert "[FAIL]" not in out
+
+    def test_ycsb_shootout(self):
+        out = run_example("ycsb_shootout.py", "2", "WH")
+        assert "shootout" in out
+        for system in ("LevelDB", "RocksDB", "L2SM", "BlockDB"):
+            assert system in out
+
+    def test_crash_recovery(self):
+        out = run_example("crash_recovery.py")
+        assert "recovery SUCCEEDED" in out
+        assert "missing keys: 0" in out
+
+    def test_device_what_if(self):
+        out = run_example("device_what_if.py")
+        assert "device profiles" in out
+        assert "NVMe" in out

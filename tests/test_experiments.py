@@ -1,0 +1,149 @@
+"""Experiment-driver tests at micro scale: every figure/table function runs
+and returns a well-formed (headers, rows) pair with the expected systems."""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments import (
+    DEFAULT_SCALE,
+    SYSTEMS,
+    clear_memo,
+    fig5_write_performance,
+    fig6_throughput_curve,
+    fig7_write_amplification,
+    fig8_wa_per_level,
+    fig9_space_amplification,
+    fig10_sa_per_level,
+    fig13_zipf_sweep,
+    fig15_memory_cost,
+    fig17_sstable_size_running_time,
+    fig18_sstable_size_wa,
+    make_system,
+    options_for,
+    run_load_experiment,
+    run_workload_experiment,
+    table2_lazy_deletion,
+)
+from repro.baselines.l2sm import L2SMDB
+from repro.ycsb.workloads import by_name
+
+#: Micro scale: just enough data for a couple of levels, fast enough for CI.
+MICRO = dataclasses.replace(DEFAULT_SCALE, keys_per_gb=80, value_size=256)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_memo():
+    clear_memo()
+    yield
+    clear_memo()
+
+
+class TestConfig:
+    def test_scaling_arithmetic(self):
+        assert MICRO.num_keys(40) == 3200
+        assert MICRO.cache_bytes(40) == int(3200 * 256 * 0.10)
+        assert MICRO.num_ops(10) == 800
+
+    def test_make_system_types(self):
+        for name in SYSTEMS:
+            db = make_system(name, MICRO)
+            assert isinstance(db, L2SMDB) == (name == "L2SM")
+            db.close()
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(KeyError):
+            options_for("CouchDB", MICRO, 1024)
+
+    def test_presets_differ_where_the_paper_says(self):
+        level = options_for("LevelDB", MICRO, 1024)
+        rocks = options_for("RocksDB", MICRO, 1024)
+        block = options_for("BlockDB", MICRO, 1024)
+        assert level.enable_seek_compaction and not rocks.enable_seek_compaction
+        assert block.compaction_style == "selective"
+        assert level.filter_policy == "block" and rocks.filter_policy == "table"
+
+
+class TestLoadAndWorkloadRuns:
+    def test_load_outcome_fields(self):
+        outcome = run_load_experiment("LevelDB", 40, MICRO)
+        assert outcome.num_keys == 3200
+        assert outcome.sim_time_s > 0
+        assert outcome.write_amplification > 1
+        assert sum(outcome.files_per_level) > 0
+        assert outcome.index_memory_bytes > 0
+
+    def test_load_memoized(self):
+        first = run_load_experiment("LevelDB", 40, MICRO)
+        second = run_load_experiment("LevelDB", 40, MICRO)
+        assert first is second
+
+    def test_workload_outcome(self):
+        outcome = run_workload_experiment(
+            "BlockDB", by_name("RW"), paper_gb=40, ops_paper_millions=10, scale=MICRO
+        )
+        assert outcome.ops == MICRO.num_ops(10)
+        assert outcome.sim_time_s > 0
+        assert outcome.block_cache_misses >= 0
+
+
+def _assert_table(headers, rows, num_systems=len(SYSTEMS)):
+    assert len(rows) == num_systems
+    assert all(len(r) == len(headers) for r in rows)
+    assert [r[0] for r in rows] == list(SYSTEMS)
+
+
+class TestFigureDrivers:
+    def test_table2(self):
+        headers, rows = table2_lazy_deletion(MICRO, sizes=(40,))
+        assert [r[0] for r in rows] == ["LevelDB", "LevelDB(+Lazy Deletion)"]
+        assert all(r[1] > 0 for r in rows)
+
+    def test_fig5_and_7_shapes(self):
+        h5, r5 = fig5_write_performance(MICRO, sizes=(40,))
+        _assert_table(h5, r5)
+        h7, r7 = fig7_write_amplification(MICRO, sizes=(40,))
+        _assert_table(h7, r7)
+        wa = {row[0]: row[1] for row in r7}
+        assert wa["BlockDB"] <= wa["LevelDB"]
+
+    def test_fig6_curve(self):
+        headers, rows = fig6_throughput_curve(MICRO, paper_gb=40, windows=5)
+        assert len(headers) == 1 + len(SYSTEMS)
+        assert len(rows) >= 4
+        assert all(all(v > 0 for v in row[1:]) for row in rows)
+
+    def test_fig8_per_level(self):
+        headers, rows = fig8_wa_per_level(MICRO, paper_gb=40)
+        _assert_table(headers, rows)
+        assert headers[1] == "L0 (MiB)"
+
+    def test_fig9_fig10_space(self):
+        h9, r9 = fig9_space_amplification(MICRO, sizes=(40,))
+        _assert_table(h9, r9)
+        sa = {row[0]: row[1] for row in r9}
+        assert sa["BlockDB"] >= sa["RocksDB"]
+        h10, r10 = fig10_sa_per_level(MICRO, paper_gb=40)
+        assert h10 == ["Level", "peak obsolete (KiB)"]
+        assert r10
+
+    def test_fig13_zipf(self):
+        headers, rows = fig13_zipf_sweep(MICRO, zipfs=(0.9,))
+        _assert_table(headers, rows)
+
+    def test_fig15_memory(self):
+        headers, rows = fig15_memory_cost(MICRO, paper_gb=40)
+        _assert_table(headers, rows)
+        memory = {row[0]: (row[1], row[2]) for row in rows}
+        # LevelDB's block-based filters cost the most filter memory
+        assert memory["LevelDB"][1] >= memory["RocksDB"][1]
+        # BlockDB reserves extra filter bits over RocksDB's plain filters
+        assert memory["BlockDB"][1] >= memory["RocksDB"][1]
+
+    def test_fig17_fig18_sweeps(self):
+        sizes = (32 * 1024, 64 * 1024)
+        h17, r17 = fig17_sstable_size_running_time(MICRO, sstable_sizes=sizes)
+        _assert_table(h17, r17)
+        assert h17[1:] == ["32 KiB", "64 KiB"]
+        h18, r18 = fig18_sstable_size_wa(MICRO, sstable_sizes=sizes)
+        _assert_table(h18, r18)

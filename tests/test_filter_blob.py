@@ -1,0 +1,102 @@
+"""Filter blob tests: both policies, serialization, memory accounting."""
+
+import pytest
+
+from repro.bloom import ReservedBloomFilter
+from repro.errors import CorruptionError
+from repro.sstable.filter_block import (
+    BlockFilters,
+    TableFilter,
+    build_block_filters,
+    build_table_filter,
+    deserialize_filter,
+)
+
+
+def keys(n, tag=b"k"):
+    return [tag + b"%05d" % i for i in range(n)]
+
+
+class TestTableFilter:
+    def test_membership(self):
+        flt = build_table_filter(keys(100), bits_per_key=10)
+        assert all(flt.may_contain(k) for k in keys(100))
+        assert flt.may_contain_in_block(0, b"anything")  # no per-block info
+
+    def test_reserved_flag(self):
+        plain = build_table_filter(keys(10), 10)
+        reserved = build_table_filter(keys(10), 10, reserved_fraction=0.4)
+        assert not plain.is_appendable
+        assert reserved.is_appendable
+        assert isinstance(reserved.bloom, ReservedBloomFilter)
+
+    def test_roundtrip(self):
+        flt = build_table_filter(keys(50), 10, reserved_fraction=0.4)
+        clone = deserialize_filter(flt.serialize())
+        assert isinstance(clone, TableFilter)
+        assert clone.is_appendable
+        assert all(clone.may_contain(k) for k in keys(50))
+
+    def test_memory(self):
+        flt = build_table_filter(keys(1000), 10)
+        assert flt.memory_bytes() >= 1000 * 10 // 8
+
+
+class TestBlockFilters:
+    def _build(self):
+        return build_block_filters(
+            {0: keys(10, b"a"), 512: keys(10, b"b"), 1024: keys(10, b"c")},
+            bits_per_key=10,
+        )
+
+    def test_per_block_membership(self):
+        flt = self._build()
+        assert flt.may_contain_in_block(0, b"a00001")
+        assert not flt.may_contain_in_block(0, b"b00001")
+        assert flt.may_contain_in_block(512, b"b00001")
+        # unknown block offset: cannot prune
+        assert flt.may_contain_in_block(9999, b"whatever")
+        # no table-level pruning possible
+        assert flt.may_contain(b"whatever")
+
+    def test_roundtrip(self):
+        flt = self._build()
+        clone = deserialize_filter(flt.serialize())
+        assert isinstance(clone, BlockFilters)
+        assert set(clone.per_block) == {0, 512, 1024}
+        assert clone.may_contain_in_block(512, b"b00003")
+        assert not clone.may_contain_in_block(512, b"a00003")
+
+    def test_memory_includes_offset_map(self):
+        flt = self._build()
+        raw_bits = sum(b.memory_bytes() for b in flt.per_block.values())
+        assert flt.memory_bytes() == raw_bits + 8 * 3
+
+    def test_block_policy_costs_more_than_table_policy(self):
+        """The Fig 15 effect at unit scale: per-block minimum-size bit
+        arrays plus the offset map outweigh one exact-sized table filter."""
+        per_block = {i * 512: keys(4, b"%02d" % i) for i in range(30)}
+        block_flt = build_block_filters(per_block, 10)
+        all_keys = [k for ks in per_block.values() for k in ks]
+        table_flt = build_table_filter(all_keys, 10)
+        assert block_flt.memory_bytes() > table_flt.memory_bytes()
+
+
+class TestErrors:
+    def test_empty_blob(self):
+        with pytest.raises(CorruptionError):
+            deserialize_filter(b"")
+
+    def test_unknown_mode(self):
+        with pytest.raises(CorruptionError):
+            deserialize_filter(b"\x07abc")
+
+    def test_truncated_table_blob(self):
+        flt = build_table_filter(keys(10), 10)
+        with pytest.raises(CorruptionError):
+            deserialize_filter(flt.serialize()[:-3])
+
+    def test_truncated_block_blob(self):
+        flt = build_block_filters({0: keys(5)}, 10)
+        with pytest.raises(CorruptionError):
+            deserialize_filter(flt.serialize()[:-3])

@@ -1,0 +1,126 @@
+"""Extended index block tests (paper Fig 3)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import CorruptionError
+from repro.keys import TYPE_VALUE, make_internal_key
+from repro.sstable.index import IndexBlock, IndexEntry
+
+
+def entry(lo: bytes, hi: bytes, offset: int = 0, size: int = 100, n: int = 4) -> IndexEntry:
+    return IndexEntry(
+        smallest=make_internal_key(lo, 1, TYPE_VALUE),
+        largest=make_internal_key(hi, 1, TYPE_VALUE),
+        offset=offset,
+        size=size,
+        num_entries=n,
+    )
+
+
+@pytest.fixture
+def index() -> IndexBlock:
+    return IndexBlock(
+        [
+            entry(b"a", b"c", offset=0),
+            entry(b"f", b"h", offset=100),
+            entry(b"m", b"p", offset=200),
+        ]
+    )
+
+
+class TestEntry:
+    def test_bounds(self):
+        e = entry(b"abc", b"abz")
+        assert e.smallest_user_key == b"abc"
+        assert e.largest_user_key == b"abz"
+        assert e.covers_user_key(b"abc")
+        assert e.covers_user_key(b"abm")
+        assert e.covers_user_key(b"abz")
+        assert not e.covers_user_key(b"abb")
+        assert not e.covers_user_key(b"ac")
+
+
+class TestLookup:
+    def test_hit_inside_block(self, index):
+        assert index.find_candidate(b"b").offset == 0
+        assert index.find_candidate(b"g").offset == 100
+        assert index.find_candidate(b"n").offset == 200
+
+    def test_boundary_keys(self, index):
+        assert index.find_candidate(b"a").offset == 0
+        assert index.find_candidate(b"c").offset == 0
+        assert index.find_candidate(b"f").offset == 100
+
+    def test_gap_pruned_without_io(self, index):
+        """Keys between blocks are rejected by the index alone — the paper's
+        point-query benefit of storing both bounds."""
+        assert index.find_candidate(b"d") is None
+        assert index.find_candidate(b"i") is None
+
+    def test_outside_table(self, index):
+        assert index.find_candidate(b"zzz") is None
+        assert index.find_candidate(b"A") is None  # below first block
+
+    def test_first_overlapping(self, index):
+        assert index.first_overlapping(b"a") == 0
+        assert index.first_overlapping(b"d") == 1
+        assert index.first_overlapping(b"h") == 1
+        assert index.first_overlapping(b"q") == 3
+
+    def test_aggregates(self, index):
+        assert index.total_valid_bytes() == 300
+        assert index.total_entries() == 12
+        assert index.smallest_key() == make_internal_key(b"a", 1, TYPE_VALUE)
+        assert index.largest_key() == make_internal_key(b"p", 1, TYPE_VALUE)
+
+    def test_empty_index(self):
+        idx = IndexBlock([])
+        assert idx.find_candidate(b"k") is None
+        assert idx.smallest_key() is None
+        assert idx.largest_key() is None
+        assert idx.total_valid_bytes() == 0
+
+
+class TestSerialization:
+    def test_roundtrip(self, index):
+        clone = IndexBlock.deserialize(index.serialize())
+        assert len(clone) == len(index)
+        for a, b in zip(clone, index):
+            assert a == b
+
+    def test_prefix_compression_saves_space(self):
+        """Fig 3's shared-prefix encoding: entries whose bounds share long
+        prefixes serialize smaller than storing both keys in full."""
+        shared = IndexBlock(
+            [entry(b"commonprefix-aaaa", b"commonprefix-zzzz")]
+        )
+        disjoint = IndexBlock([entry(b"aaaaaaaaaaaaaaaaa", b"zzzzzzzzzzzzzzzzz")])
+        assert len(shared.serialize()) < len(disjoint.serialize())
+
+    def test_memory_bytes_matches_serialized(self, index):
+        blob = index.serialize()
+        assert index.memory_bytes() == len(blob)
+        assert IndexBlock.deserialize(blob).memory_bytes() == len(blob)
+
+    def test_corrupt_payload_rejected(self, index):
+        blob = index.serialize()
+        with pytest.raises(CorruptionError):
+            IndexBlock.deserialize(blob[: len(blob) // 2])
+
+    @settings(max_examples=25)
+    @given(
+        st.lists(
+            st.tuples(st.binary(min_size=1, max_size=12), st.integers(0, 2**20), st.integers(1, 2**16)),
+            min_size=0,
+            max_size=30,
+            unique_by=lambda t: t[0],
+        )
+    )
+    def test_roundtrip_property(self, raw):
+        entries = [
+            entry(k, k + b"\xff", offset=off, size=size, n=3) for k, off, size in sorted(raw)
+        ]
+        idx = IndexBlock(entries)
+        clone = IndexBlock.deserialize(idx.serialize())
+        assert clone.entries == idx.entries

@@ -1,0 +1,127 @@
+"""Internal-key encoding and ordering tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import CorruptionError
+from repro.keys import (
+    MAX_SEQUENCE,
+    TYPE_DELETION,
+    TYPE_VALUE,
+    comparable_from_internal,
+    comparable_key,
+    comparable_parts,
+    comparable_to_internal,
+    internal_compare,
+    make_internal_key,
+    pack_trailer,
+    seek_comparable,
+    seek_key,
+    sequence_of,
+    split_internal_key,
+    type_of,
+    user_key_of,
+)
+
+keys_st = st.binary(min_size=1, max_size=24)
+seqs_st = st.integers(min_value=0, max_value=MAX_SEQUENCE)
+types_st = st.sampled_from([TYPE_DELETION, TYPE_VALUE])
+
+
+class TestPacking:
+    def test_roundtrip(self):
+        ik = make_internal_key(b"user1", 42, TYPE_VALUE)
+        assert split_internal_key(ik) == (b"user1", 42, TYPE_VALUE)
+        assert user_key_of(ik) == b"user1"
+        assert sequence_of(ik) == 42
+        assert type_of(ik) == TYPE_VALUE
+
+    def test_sequence_out_of_range(self):
+        with pytest.raises(ValueError):
+            pack_trailer(MAX_SEQUENCE + 1, TYPE_VALUE)
+        with pytest.raises(ValueError):
+            pack_trailer(-1, TYPE_VALUE)
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(ValueError):
+            pack_trailer(0, 7)
+
+    def test_short_key_raises(self):
+        with pytest.raises(CorruptionError):
+            split_internal_key(b"short")
+
+    @given(keys_st, seqs_st, types_st)
+    def test_roundtrip_property(self, user_key, seq, value_type):
+        ik = make_internal_key(user_key, seq, value_type)
+        assert split_internal_key(ik) == (user_key, seq, value_type)
+
+
+class TestOrdering:
+    def test_user_key_ascending(self):
+        a = make_internal_key(b"a", 5, TYPE_VALUE)
+        b = make_internal_key(b"b", 5, TYPE_VALUE)
+        assert internal_compare(a, b) == -1
+        assert internal_compare(b, a) == 1
+
+    def test_sequence_descending_within_user_key(self):
+        newer = make_internal_key(b"k", 10, TYPE_VALUE)
+        older = make_internal_key(b"k", 3, TYPE_VALUE)
+        assert internal_compare(newer, older) == -1
+
+    def test_equal(self):
+        a = make_internal_key(b"k", 5, TYPE_VALUE)
+        assert internal_compare(a, a) == 0
+
+    def test_prefix_user_keys(self):
+        # "ab" < "abc" by user key regardless of trailers.
+        a = make_internal_key(b"ab", 1, TYPE_VALUE)
+        b = make_internal_key(b"abc", 999, TYPE_VALUE)
+        assert internal_compare(a, b) == -1
+
+    def test_seek_key_sorts_first_for_its_snapshot(self):
+        seek = seek_key(b"k", 100)
+        visible = make_internal_key(b"k", 100, TYPE_VALUE)
+        older = make_internal_key(b"k", 50, TYPE_DELETION)
+        assert internal_compare(seek, visible) <= 0
+        assert internal_compare(seek, older) < 0
+
+    @given(keys_st, seqs_st, types_st, keys_st, seqs_st, types_st)
+    def test_comparable_tuple_order_matches_internal_compare(
+        self, uk1, s1, t1, uk2, s2, t2
+    ):
+        """The load-bearing invariant: the tuple form's native ordering is
+        exactly internal-key ordering."""
+        ik1 = make_internal_key(uk1, s1, t1)
+        ik2 = make_internal_key(uk2, s2, t2)
+        c1 = comparable_from_internal(ik1)
+        c2 = comparable_from_internal(ik2)
+        cmp = internal_compare(ik1, ik2)
+        if cmp < 0:
+            assert c1 < c2
+        elif cmp > 0:
+            assert c1 > c2
+        else:
+            assert c1 == c2
+
+
+class TestComparableConversions:
+    @given(keys_st, seqs_st, types_st)
+    def test_roundtrip(self, user_key, seq, value_type):
+        ck = comparable_key(user_key, seq, value_type)
+        assert comparable_parts(ck) == (user_key, seq, value_type)
+        assert comparable_from_internal(comparable_to_internal(ck)) == ck
+
+    def test_seek_comparable_bounds_all_versions(self):
+        seek = seek_comparable(b"k")
+        for seq in (0, 1, 500, MAX_SEQUENCE):
+            for vt in (TYPE_DELETION, TYPE_VALUE):
+                assert seek <= comparable_key(b"k", seq, vt)
+
+    def test_seek_comparable_respects_snapshot(self):
+        seek = seek_comparable(b"k", 10)
+        assert comparable_key(b"k", 11, TYPE_VALUE) < seek
+        assert seek <= comparable_key(b"k", 10, TYPE_VALUE)
+
+    def test_short_internal_key_raises(self):
+        with pytest.raises(CorruptionError):
+            comparable_from_internal(b"x")

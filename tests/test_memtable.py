@@ -1,0 +1,84 @@
+"""Memtable semantics: versions, tombstones, freezing, accounting."""
+
+import pytest
+
+from repro.keys import TYPE_DELETION, TYPE_VALUE, comparable_parts
+from repro.memtable.memtable import ENTRY_OVERHEAD, MemTable
+
+
+class TestGet:
+    def test_missing(self):
+        mt = MemTable()
+        assert mt.get(b"k", 100) == (False, None)
+
+    def test_put_then_get(self):
+        mt = MemTable()
+        mt.add(1, TYPE_VALUE, b"k", b"v")
+        assert mt.get(b"k", 100) == (True, b"v")
+
+    def test_newest_visible_version_wins(self):
+        mt = MemTable()
+        mt.add(1, TYPE_VALUE, b"k", b"old")
+        mt.add(5, TYPE_VALUE, b"k", b"new")
+        assert mt.get(b"k", 100) == (True, b"new")
+
+    def test_snapshot_sees_past(self):
+        mt = MemTable()
+        mt.add(1, TYPE_VALUE, b"k", b"old")
+        mt.add(5, TYPE_VALUE, b"k", b"new")
+        assert mt.get(b"k", 1) == (True, b"old")
+        assert mt.get(b"k", 4) == (True, b"old")
+        assert mt.get(b"k", 0) == (False, None)
+
+    def test_tombstone_found_as_none(self):
+        mt = MemTable()
+        mt.add(1, TYPE_VALUE, b"k", b"v")
+        mt.add(2, TYPE_DELETION, b"k")
+        assert mt.get(b"k", 100) == (True, None)
+        assert mt.get(b"k", 1) == (True, b"v")
+
+    def test_does_not_bleed_to_neighbour_key(self):
+        mt = MemTable()
+        mt.add(1, TYPE_VALUE, b"kb", b"v")
+        assert mt.get(b"ka", 100) == (False, None)
+        assert mt.get(b"k", 100) == (False, None)
+
+
+class TestInvariantsAndAccounting:
+    def test_tombstone_with_value_rejected(self):
+        mt = MemTable()
+        with pytest.raises(ValueError):
+            mt.add(1, TYPE_DELETION, b"k", b"nonempty")
+
+    def test_frozen_rejects_writes(self):
+        mt = MemTable()
+        mt.add(1, TYPE_VALUE, b"k", b"v")
+        mt.freeze()
+        with pytest.raises(RuntimeError):
+            mt.add(2, TYPE_VALUE, b"k2", b"v")
+        assert mt.get(b"k", 10) == (True, b"v")  # reads still fine
+
+    def test_memory_accounting(self):
+        mt = MemTable()
+        assert mt.approximate_memory_usage() == 0
+        mt.add(1, TYPE_VALUE, b"abc", b"12345")
+        assert mt.approximate_memory_usage() == 3 + 5 + ENTRY_OVERHEAD
+        mt.add(2, TYPE_DELETION, b"abc")
+        assert mt.approximate_memory_usage() == (3 + 5 + ENTRY_OVERHEAD) + (3 + ENTRY_OVERHEAD)
+        assert len(mt) == 2
+
+    def test_entries_sorted_newest_first_per_key(self):
+        mt = MemTable()
+        mt.add(1, TYPE_VALUE, b"b", b"b1")
+        mt.add(2, TYPE_VALUE, b"a", b"a2")
+        mt.add(3, TYPE_VALUE, b"b", b"b3")
+        parts = [comparable_parts(ck) for ck, _ in mt.entries()]
+        assert [(p[0], p[1]) for p in parts] == [(b"a", 2), (b"b", 3), (b"b", 1)]
+
+    def test_smallest_and_largest(self):
+        mt = MemTable()
+        mt.add(1, TYPE_VALUE, b"m", b"")
+        mt.add(2, TYPE_VALUE, b"a", b"")
+        mt.add(3, TYPE_VALUE, b"z", b"")
+        assert mt.smallest_key()[0] == b"a"
+        assert mt.largest_key()[0] == b"z"

@@ -1,0 +1,157 @@
+"""Metrics computations and report formatting."""
+
+import random
+
+import pytest
+
+from conftest import kv, make_db
+from repro.metrics.amplification import (
+    block_cache_miss_ratio,
+    current_space_bytes,
+    per_level_obsolete_bytes,
+    per_level_write_traffic,
+    read_amplification,
+    space_amplification,
+    write_amplification,
+    write_amplification_with_wal,
+)
+from repro.metrics.report import format_series, format_table, human_bytes
+from repro.metrics.stats import CompactionEvent, DBStats
+
+
+def loaded_db(style="table", n=500):
+    db = make_db(style)
+    order = list(range(n))
+    random.Random(1).shuffle(order)
+    for i in order:
+        db.put(*kv(i))
+    return db
+
+
+class TestAmplification:
+    def test_write_amplification_definition(self):
+        db = loaded_db()
+        wa = write_amplification(db)
+        expected = (db.stats.flush_bytes + db.stats.compaction_bytes_written) / (
+            db.stats.user_bytes_written
+        )
+        assert wa == pytest.approx(expected)
+        assert wa > 1.0
+        db.close()
+
+    def test_wal_inclusive_variant_is_larger(self):
+        db = loaded_db()
+        assert write_amplification_with_wal(db) > write_amplification(db)
+        db.close()
+
+    def test_empty_db_zero(self):
+        db = make_db("table")
+        assert write_amplification(db) == 0.0
+        assert space_amplification(db) == 0.0
+        assert read_amplification(db) == 0.0
+        db.close()
+
+    def test_per_level_traffic_consistency(self):
+        db = loaded_db()
+        traffic = per_level_write_traffic(db)
+        assert traffic[0] == db.stats.flush_bytes
+        assert sum(traffic) == db.stats.sst_bytes_written()
+        db.close()
+
+    def test_obsolete_bytes_nonzero_under_block_compaction(self):
+        db = loaded_db("block", n=800)
+        assert sum(per_level_obsolete_bytes(db)) > 0
+        db.close()
+
+    def test_current_space(self):
+        db = loaded_db()
+        space = current_space_bytes(db)
+        assert space == db.version.total_file_bytes() + db.deletion_manager.pending_bytes
+        assert space > 0
+        db.close()
+
+    def test_read_amplification_counts_get_bytes(self):
+        db = loaded_db()
+        for i in range(0, 500, 10):
+            db.get(kv(i)[0])
+        assert read_amplification(db) > 0
+        db.close()
+
+    def test_cache_miss_ratio_bounds(self):
+        db = loaded_db()
+        for i in range(0, 500, 5):
+            db.get(kv(i)[0])
+        ratio = block_cache_miss_ratio(db)
+        assert 0.0 <= ratio <= 1.0
+        db.close()
+
+    def test_space_amplification_denominator_override(self):
+        stats = DBStats()
+        stats.user_bytes_written = 100
+        stats.max_space_bytes = 400
+        assert stats.space_amplification() == pytest.approx(4.0)
+        assert stats.space_amplification(200) == pytest.approx(2.0)
+
+
+class TestStatsBookkeeping:
+    def test_record_event_classification(self):
+        stats = DBStats()
+        for kind, reason in [
+            ("table", "size"),
+            ("block", "size"),
+            ("selective", "size"),
+            ("trivial", "size"),
+            ("table", "seek"),
+        ]:
+            stats.record_event(
+                CompactionEvent(1, 2, kind, reason, 100, 50, 2, 1)
+            )
+        assert stats.table_compactions == 2
+        assert stats.block_compactions == 2
+        assert stats.trivial_moves == 1
+        assert stats.seek_triggered_compactions == 1
+        assert stats.compaction_bytes_read == 500
+        assert stats.compaction_bytes_written == 250
+
+    def test_flush_events_not_counted_as_compaction_bytes(self):
+        stats = DBStats()
+        stats.record_event(CompactionEvent(-1, 0, "flush", "memtable", 0, 100, 0, 1))
+        assert stats.compaction_bytes_written == 0
+
+    def test_observe_helpers(self):
+        stats = DBStats()
+        stats.observe_space(100)
+        stats.observe_space(50)
+        assert stats.max_space_bytes == 100
+        stats.observe_obsolete(2, 10)
+        stats.observe_obsolete(2, 5)
+        assert stats.per_level_max_obsolete_bytes[2] == 10
+
+
+class TestReportFormatting:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "x"], [["LevelDB", 1.5], ["BlockDB", 10.25]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "LevelDB" in lines[2]
+        assert "10.25" in lines[3]
+
+    def test_format_table_title(self):
+        text = format_table(["a"], [[1]], title="Fig 7")
+        assert text.splitlines()[0] == "Fig 7"
+        assert text.splitlines()[1] == "====="
+
+    def test_number_formatting(self):
+        text = format_table(["v"], [[0.000123], [123456], [0.0]])
+        assert "0.0001" in text
+        assert "123,456" in text
+
+    def test_format_series(self):
+        text = format_series("tput", [(1, 100.0), (2, 200.0)])
+        assert "tput" in text
+
+    def test_human_bytes(self):
+        assert human_bytes(512) == "512 B"
+        assert human_bytes(1536) == "1.5 KiB"
+        assert human_bytes(3 * 1024**2) == "3.0 MiB"
+        assert human_bytes(5 * 1024**3) == "5.0 GiB"

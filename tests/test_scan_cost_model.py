@@ -1,0 +1,70 @@
+"""Contiguity-aware scan charging (the range-scan penalty of block reuse).
+
+Iterators charge a random read when a block is physically discontiguous
+with its predecessor and a sequential read otherwise.  Freshly built tables
+are fully contiguous; block-compacted tables scatter — which is exactly
+Section IV's "valid data blocks are randomly distributed in the SSTable...
+not friendly to range queries".
+"""
+
+import pytest
+
+from conftest import tiny_options
+from repro.keys import TYPE_VALUE, comparable_key, make_internal_key
+from repro.sstable import TableBuilder, TableReader
+from repro.storage.fs import SimulatedFS
+from test_block_compaction_unit import FakeEnv, k
+
+
+def build_fresh(fs, options, n=40):
+    builder = TableBuilder(fs, "000001.sst", options, level=2)
+    for i in range(0, n, 2):
+        builder.add(make_internal_key(k(i), i + 1, TYPE_VALUE), b"v" * 40)
+    builder.finish()
+    return TableReader(fs, "000001.sst", 1, options)
+
+
+class TestContiguityCharging:
+    def test_fresh_table_scans_mostly_sequential(self):
+        fs = SimulatedFS()
+        options = tiny_options()
+        reader = build_fresh(fs, options)
+        before_random = fs.stats.random_reads
+        before_seq = fs.stats.sequential_reads
+        list(reader.entries_from())
+        random_reads = fs.stats.random_reads - before_random
+        seq_reads = fs.stats.sequential_reads - before_seq
+        # first block pays the seek; every later block continues the run
+        assert random_reads == 1
+        assert seq_reads == len(reader.index.entries) - 1
+        reader.close()
+
+    def test_block_compacted_table_scans_pay_random_reads(self):
+        env = FakeEnv()
+        meta = env.build([k(i) for i in range(0, 40, 2)], level=2)
+        reader = env.reader(meta)
+        # Dirty the middle block so the rebuilt index interleaves an
+        # appended block between original (contiguous) ones.
+        from repro.compaction.block_compaction import block_compact_file
+
+        target = reader.index.entries[1]
+        parent = [(comparable_key(target.smallest_user_key, 999, TYPE_VALUE), b"NEW")]
+        block_compact_file(env, parent, meta, 2)
+        reader.reload()
+
+        before_random = env.fs.stats.random_reads
+        list(reader.entries_from())
+        random_reads = env.fs.stats.random_reads - before_random
+        # the appended block breaks the physical run twice: jumping to the
+        # tail and jumping back
+        assert random_reads >= 3
+
+    def test_sequential_flag_overrides_detection(self):
+        """Compaction scans read whole tables as one sequential stream."""
+        fs = SimulatedFS()
+        options = tiny_options()
+        reader = build_fresh(fs, options)
+        before_random = fs.stats.random_reads
+        list(reader.entries_from(sequential=True))
+        assert fs.stats.random_reads == before_random
+        reader.close()

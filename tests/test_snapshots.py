@@ -1,0 +1,207 @@
+"""Snapshot tests: pinned reads, version retention across compactions."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from conftest import kv, make_db
+from repro.core.snapshot import SnapshotRegistry, VersionKeeper
+from repro.errors import InvalidArgumentError
+
+
+class TestVersionKeeper:
+    def test_no_snapshots_keeps_only_newest(self):
+        keeper = VersionKeeper([])
+        keeper.new_key()
+        assert keeper.keep(10)
+        assert not keeper.keep(7)
+        assert not keeper.keep(3)
+
+    def test_new_key_resets(self):
+        keeper = VersionKeeper([])
+        keeper.new_key()
+        assert keeper.keep(10)
+        keeper.new_key()
+        assert keeper.keep(4)
+
+    def test_one_boundary_two_strata(self):
+        keeper = VersionKeeper([5])
+        keeper.new_key()
+        assert keeper.keep(10)  # live stratum
+        assert not keeper.keep(8)  # still above the boundary
+        assert keeper.keep(5)  # visible to snapshot@5
+        assert not keeper.keep(2)  # shadowed within snapshot stratum
+
+    def test_multiple_boundaries(self):
+        keeper = VersionKeeper([3, 7])
+        keeper.new_key()
+        assert keeper.keep(9)
+        assert keeper.keep(6)  # stratum (3, 7]
+        assert not keeper.keep(5)
+        assert keeper.keep(2)  # stratum [0, 3]
+
+    def test_tombstone_protection(self):
+        keeper = VersionKeeper([5])
+        assert not keeper.tombstone_unprotected(6)  # snapshot@5 sees beneath
+        assert keeper.tombstone_unprotected(5)
+        assert keeper.tombstone_unprotected(3)
+        assert VersionKeeper([]).tombstone_unprotected(100)
+
+    @settings(max_examples=40)
+    @given(
+        st.lists(st.integers(1, 100), unique=True, min_size=1, max_size=20),
+        st.lists(st.integers(0, 30), max_size=3, unique=True),
+    )
+    def test_kept_versions_preserve_every_snapshot_view(self, seqs, bounds):
+        """For any snapshot b, the newest kept version <= b equals the
+        newest original version <= b."""
+        boundaries = sorted(bounds)
+        seqs = sorted(seqs, reverse=True)
+        keeper = VersionKeeper(boundaries)
+        keeper.new_key()
+        kept = [s for s in seqs if keeper.keep(s)]
+        for b in boundaries + [max(seqs) + 1]:
+            visible_orig = [s for s in seqs if s <= b]
+            visible_kept = [s for s in kept if s <= b]
+            if visible_orig:
+                assert visible_kept and visible_kept[0] == visible_orig[0]
+
+
+class TestRegistry:
+    def test_pin_unpin(self):
+        reg = SnapshotRegistry()
+        reg.pin(5)
+        reg.pin(5)
+        reg.pin(9)
+        assert len(reg) == 3
+        assert reg.boundaries() == [5, 9]
+        assert reg.oldest() == 5
+        reg.unpin(5)
+        assert reg.boundaries() == [5, 9]
+        reg.unpin(5)
+        assert reg.boundaries() == [9]
+        with pytest.raises(ValueError):
+            reg.unpin(5)
+
+
+class TestDBSnapshots:
+    def test_snapshot_sees_past_memtable_writes(self, db):
+        db.put(b"k", b"old")
+        snap = db.snapshot()
+        db.put(b"k", b"new")
+        assert db.get(b"k") == b"new"
+        assert db.get(b"k", snapshot=snap) == b"old"
+        snap.close()
+
+    def test_snapshot_sees_through_deletes(self, db):
+        db.put(b"k", b"v")
+        snap = db.snapshot()
+        db.delete(b"k")
+        assert db.get(b"k") is None
+        assert db.get(b"k", snapshot=snap) == b"v"
+        snap.close()
+
+    def test_snapshot_survives_flush_and_compaction(self):
+        db = make_db("selective")
+        for i in range(100):
+            db.put(*kv(i))
+        snap = db.snapshot()
+        order = list(range(100))
+        random.Random(1).shuffle(order)
+        # bury the snapshot under several generations of overwrites
+        for generation in range(4):
+            for i in order:
+                db.put(kv(i)[0], b"gen-%d-%d" % (generation, i))
+        db.compact_all()
+        for i in range(100):
+            assert db.get(kv(i)[0], snapshot=snap) == kv(i)[1], i
+            assert db.get(kv(i)[0]) == b"gen-3-%d" % i
+        snap.close()
+        db.close()
+
+    def test_snapshot_scan_is_frozen(self):
+        db = make_db("table")
+        for i in range(50):
+            db.put(*kv(i))
+        snap = db.snapshot()
+        db.delete(kv(10)[0])
+        for i in range(50, 80):
+            db.put(*kv(i))
+        frozen = db.scan(snapshot=snap)
+        assert [k for k, _ in frozen] == [kv(i)[0] for i in range(50)]
+        assert len(db.scan()) == 79
+        snap.close()
+        db.close()
+
+    def test_tombstones_protected_by_snapshot(self):
+        """A delete after a snapshot must not let compaction drop the old
+        value; after release, a full compaction reclaims everything."""
+        db = make_db("table")
+        for i in range(60):
+            db.put(*kv(i))
+        snap = db.snapshot()
+        for i in range(60):
+            db.delete(kv(i)[0])
+        db.compact_all()
+        assert db.get(kv(30)[0]) is None
+        assert db.get(kv(30)[0], snapshot=snap) == kv(30)[1]
+        snap.close()
+        db.compact_all()
+        assert sum(db.level_sizes()) == 0  # all reclaimed post-release
+        db.close()
+
+    def test_released_snapshot_rejected(self, db):
+        db.put(b"k", b"v")
+        snap = db.snapshot()
+        snap.close()
+        with pytest.raises(InvalidArgumentError):
+            db.get(b"k", snapshot=snap)
+
+    def test_context_manager_releases(self, db):
+        db.put(b"k", b"v")
+        with db.snapshot() as snap:
+            assert db.get(b"k", snapshot=snap) == b"v"
+        assert snap.released
+        assert len(db.snapshots) == 0
+
+    def test_double_close_is_idempotent(self, db):
+        snap = db.snapshot()
+        snap.close()
+        snap.close()
+        assert len(db.snapshots) == 0
+
+    def test_multiple_interleaved_snapshots(self):
+        db = make_db("selective")
+        db.put(b"k", b"v1")
+        s1 = db.snapshot()
+        db.put(b"k", b"v2")
+        s2 = db.snapshot()
+        db.put(b"k", b"v3")
+        # force the versions through flush + compactions
+        for i in range(300):
+            db.put(*kv(i))
+        db.compact_all()
+        assert db.get(b"k", snapshot=s1) == b"v1"
+        assert db.get(b"k", snapshot=s2) == b"v2"
+        assert db.get(b"k") == b"v3"
+        s1.close()
+        s2.close()
+        db.close()
+
+    def test_snapshot_against_block_compacted_tables(self):
+        """Snapshot visibility across in-place appended SSTables."""
+        db = make_db("block")
+        order = list(range(200))
+        random.Random(3).shuffle(order)
+        for i in order:
+            db.put(*kv(i))
+        snap = db.snapshot()
+        for i in order:
+            db.put(kv(i)[0], b"NEW%d" % i)
+        assert db.stats.block_compactions > 0
+        for i in range(0, 200, 11):
+            assert db.get(kv(i)[0], snapshot=snap) == kv(i)[1]
+            assert db.get(kv(i)[0]) == b"NEW%d" % i
+        snap.close()
+        db.close()

@@ -1,0 +1,263 @@
+"""SSTable end-to-end: build, read, append sections, filters, corruption."""
+
+import pytest
+
+from repro.bloom import ReservedBloomFilter
+from repro.errors import CorruptionError
+from repro.keys import TYPE_DELETION, TYPE_VALUE, comparable_parts, make_internal_key
+from repro.options import FILTER_BLOCK, FILTER_NONE, FILTER_TABLE, Options
+from repro.sstable import AppendSession, TableBuilder, TableReader
+from repro.sstable.filter_block import BlockFilters, TableFilter
+from repro.storage.fs import SimulatedFS
+
+SNAP = 10**9
+
+
+def opts(**overrides) -> Options:
+    params = dict(
+        block_size=256,
+        sstable_size=4096,
+        memtable_size=4096,
+        max_levels=5,
+        bloom_reserved_mid_fraction=0.4,
+        bloom_reserved_last_fraction=0.1,
+    )
+    params.update(overrides)
+    return Options(**params)
+
+
+def build_table(fs, options, n=60, step=2, name="000001.sst", level=2, value=b"v" * 40):
+    builder = TableBuilder(fs, name, options, level=level)
+    for seq, i in enumerate(range(0, n * step, step), start=1):
+        builder.add(make_internal_key(f"key{i:05d}".encode(), seq, TYPE_VALUE), value)
+    return builder.finish()
+
+
+class TestBuildAndRead:
+    def test_metadata(self, fs):
+        info = build_table(fs, opts(), n=40)
+        assert info.num_entries == 40
+        assert info.valid_bytes > 0
+        assert info.file_size > info.valid_bytes  # + index/filter/footer
+        assert info.smallest is not None and info.largest is not None
+        assert len(info.index) > 1  # multiple blocks were cut
+
+    def test_get_hits_and_misses(self, fs):
+        build_table(fs, opts(), n=40)
+        reader = TableReader(fs, "000001.sst", 1, opts())
+        assert reader.get(b"key00010", SNAP) == (True, b"v" * 40)
+        assert reader.get(b"key00011", SNAP) == (False, None)
+        assert reader.get(b"zzz", SNAP) == (False, None)
+        reader.close()
+
+    def test_scan_in_order(self, fs):
+        build_table(fs, opts(), n=40)
+        reader = TableReader(fs, "000001.sst", 1, opts())
+        keys = [comparable_parts(ck)[0] for ck, _ in reader.entries_from()]
+        assert keys == sorted(keys)
+        assert len(keys) == 40
+
+    def test_blocks_never_split_user_key_versions(self, fs):
+        options = opts()
+        builder = TableBuilder(fs, "000009.sst", options, level=1)
+        # many versions of one user key, then others
+        for seq in range(50, 0, -1):
+            builder.add(make_internal_key(b"hot", seq, TYPE_VALUE), b"v" * 30)
+        builder.add(make_internal_key(b"zzz", 1, TYPE_VALUE), b"v")
+        info = builder.finish()
+        covering = [e for e in info.index if e.covers_user_key(b"hot")]
+        assert len(covering) == 1
+
+    def test_out_of_order_add_rejected(self, fs):
+        builder = TableBuilder(fs, "000002.sst", opts(), level=1)
+        builder.add(make_internal_key(b"b", 1, TYPE_VALUE), b"")
+        with pytest.raises(ValueError):
+            builder.add(make_internal_key(b"a", 1, TYPE_VALUE), b"")
+
+    def test_abandon_removes_file(self, fs):
+        builder = TableBuilder(fs, "000003.sst", opts(), level=1)
+        builder.add(make_internal_key(b"a", 1, TYPE_VALUE), b"")
+        builder.abandon()
+        assert not fs.exists("000003.sst")
+
+    def test_footer_too_short_file(self, fs):
+        fs.create_file("bad.sst").append(b"tiny")
+        with pytest.raises(CorruptionError):
+            TableReader(fs, "bad.sst", 9, opts())
+
+    def test_checksum_verification(self, fs):
+        info = build_table(fs, opts(), n=10)
+        # flip a byte inside the first data block
+        fs._files["000001.sst"][5] ^= 0xFF
+        reader = TableReader(fs, "000001.sst", 1, opts(verify_checksums=True))
+        first = reader.index.entries[0]
+        with pytest.raises(CorruptionError):
+            reader.read_block(first, category="get")
+
+
+class TestFilterPolicies:
+    def test_table_filter_prunes(self, fs):
+        build_table(fs, opts(filter_policy=FILTER_TABLE), n=40)
+        reader = TableReader(fs, "000001.sst", 1, opts(filter_policy=FILTER_TABLE))
+        assert isinstance(reader.filter, TableFilter)
+        found, _value, touched = reader.lookup(b"nope-key", SNAP)
+        assert not found and not touched  # pruned without block I/O
+
+    def test_block_filters(self, fs):
+        build_table(fs, opts(filter_policy=FILTER_BLOCK), n=40)
+        reader = TableReader(fs, "000001.sst", 1, opts(filter_policy=FILTER_BLOCK))
+        assert isinstance(reader.filter, BlockFilters)
+        assert len(reader.filter.per_block) == len(reader.index)
+        assert reader.get(b"key00010", SNAP) == (True, b"v" * 40)
+
+    def test_no_filter(self, fs):
+        build_table(fs, opts(filter_policy=FILTER_NONE), n=10)
+        reader = TableReader(fs, "000001.sst", 1, opts(filter_policy=FILTER_NONE))
+        assert reader.filter is None
+        assert reader.get(b"key00002", SNAP) == (True, b"v" * 40)
+
+    def test_reserved_filter_built_at_mid_level(self, fs):
+        build_table(fs, opts(), n=40, level=2)
+        reader = TableReader(fs, "000001.sst", 1, opts())
+        assert isinstance(reader.filter.bloom, ReservedBloomFilter)
+        assert reader.filter.bloom.can_absorb(int(40 * 0.4))
+
+    def test_metadata_memory_split(self, fs):
+        build_table(fs, opts(), n=40)
+        reader = TableReader(fs, "000001.sst", 1, opts())
+        index_bytes, filter_bytes = reader.metadata_memory_bytes()
+        assert index_bytes > 0 and filter_bytes > 0
+
+
+class TestAppendSessions:
+    def _reader(self, fs, options):
+        build_table(fs, options, n=40)
+        return TableReader(fs, "000001.sst", 1, options)
+
+    def test_append_section_and_reload(self, fs):
+        options = opts()
+        reader = self._reader(fs, options)
+        old_size = reader.file_size
+        session = AppendSession(fs, reader, options, level=2)
+        entries = reader.index.entries
+        session.reuse(entries[0])
+        new_key = entries[0].largest_user_key + b"x"
+        session.add(make_internal_key(new_key, 999, TYPE_VALUE), b"NEW")
+        for e in entries[1:]:
+            session.reuse(e)
+        result = session.finish()
+
+        assert result.file_size > old_size
+        assert result.bytes_written == result.file_size - old_size
+        assert result.num_entries == 41
+        reader.reload()
+        assert reader.footer.section == 1
+        assert reader.get(new_key, SNAP) == (True, b"NEW")
+        assert reader.get(b"key00010", SNAP) == (True, b"v" * 40)
+        # logical order intact
+        keys = [comparable_parts(ck)[0] for ck, _ in reader.entries_from()]
+        assert keys == sorted(keys)
+
+    def test_valid_bytes_track_superseded_blocks(self, fs):
+        options = opts()
+        reader = self._reader(fs, options)
+        session = AppendSession(fs, reader, options, level=2)
+        entries = reader.index.entries
+        # rewrite the first block's content (merge nothing, just re-add), so
+        # the old block becomes obsolete
+        block = reader.read_block(entries[0], category="get")
+        for ck, value in block.entries():
+            user, seq, vt = comparable_parts(ck)
+            session.add(make_internal_key(user, seq, vt), value)
+        for e in entries[1:]:
+            session.reuse(e)
+        result = session.finish()
+        assert result.valid_bytes < result.file_size
+        # obsolete = at least the superseded first block
+        assert result.file_size - result.valid_bytes >= entries[0].size
+
+    def test_reserved_filter_absorbs_without_rebuild(self, fs):
+        options = opts()
+        reader = self._reader(fs, options)
+        session = AppendSession(fs, reader, options, level=2)
+        entries = reader.index.entries
+        for e in entries:
+            session.reuse(e)
+        session.add(make_internal_key(b"zzz-appended", 999, TYPE_VALUE), b"NEW")
+        session.finish()
+        assert not session.filter_rebuilt
+        reader.reload()
+        assert isinstance(reader.filter.bloom, ReservedBloomFilter)
+        assert reader.get(b"zzz-appended", SNAP) == (True, b"NEW")
+
+    def test_filter_rebuilt_when_headroom_exhausted(self, fs):
+        options = opts()
+        reader = self._reader(fs, options)
+        headroom = reader.filter.bloom.remaining_capacity()
+        session = AppendSession(fs, reader, options, level=2)
+        for e in reader.index.entries:
+            session.reuse(e)
+        for i in range(headroom + 1):
+            session.add(
+                make_internal_key(b"zz-%05d" % i, 1000 + i, TYPE_VALUE), b"NEW"
+            )
+        session.finish()
+        assert session.filter_rebuilt
+        reader.reload()
+        assert reader.get(b"zz-00000", SNAP) == (True, b"NEW")
+        assert reader.get(b"key00010", SNAP) == (True, b"v" * 40)
+
+    def test_block_filter_append_carries_clean_filters(self, fs):
+        options = opts(filter_policy=FILTER_BLOCK)
+        reader = self._reader(fs, options)
+        session = AppendSession(fs, reader, options, level=2)
+        for e in reader.index.entries:
+            session.reuse(e)
+        session.add(make_internal_key(b"zzz", 999, TYPE_VALUE), b"NEW")
+        session.finish()
+        reader.reload()
+        assert isinstance(reader.filter, BlockFilters)
+        assert len(reader.filter.per_block) == len(reader.index)
+        assert reader.get(b"zzz", SNAP) == (True, b"NEW")
+
+    def test_tombstones_can_be_appended(self, fs):
+        options = opts()
+        reader = self._reader(fs, options)
+        session = AppendSession(fs, reader, options, level=2)
+        entries = reader.index.entries
+        session.reuse(entries[0])
+        tomb_key = entries[0].largest_user_key + b"t"
+        session.add(make_internal_key(tomb_key, 999, TYPE_DELETION), b"")
+        for e in entries[1:]:
+            session.reuse(e)
+        session.finish()
+        reader.reload()
+        assert reader.get(tomb_key, SNAP) == (True, None)
+
+    def test_double_finish_rejected(self, fs):
+        options = opts()
+        reader = self._reader(fs, options)
+        session = AppendSession(fs, reader, options, level=2)
+        for e in reader.index.entries:
+            session.reuse(e)
+        session.finish()
+        with pytest.raises(RuntimeError):
+            session.finish()
+
+    def test_multiple_append_sections_chain(self, fs):
+        options = opts()
+        reader = self._reader(fs, options)
+        for round_no in range(3):
+            session = AppendSession(fs, reader, options, level=2)
+            for e in reader.index.entries:
+                session.reuse(e)
+            session.add(
+                make_internal_key(b"zzz-%d" % round_no, 1000 + round_no, TYPE_VALUE),
+                b"r%d" % round_no,
+            )
+            session.finish()
+            reader.reload()
+            assert reader.footer.section == round_no + 1
+        for round_no in range(3):
+            assert reader.get(b"zzz-%d" % round_no, SNAP) == (True, b"r%d" % round_no)
+        assert reader.num_entries == 43

@@ -1,0 +1,85 @@
+"""Per-category time accounting and the overlapped-time model."""
+
+import random
+
+import pytest
+
+from conftest import kv, make_db
+from repro.storage.io_stats import CAT_COMPACTION, CAT_FLUSH, CAT_GET, IOStats
+from repro.ycsb.runner import load_db, run_workload
+from repro.ycsb.workloads import WorkloadSpec
+
+
+class TestCategoryTime:
+    def test_charges_split_by_category(self):
+        stats = IOStats()
+        stats.charge_time(1.0, CAT_COMPACTION)
+        stats.charge_time(0.5, CAT_GET)
+        stats.charge_time(0.25, CAT_FLUSH)
+        assert stats.sim_time_s == pytest.approx(1.75)
+        assert stats.time_per_category[CAT_COMPACTION] == pytest.approx(1.0)
+        assert stats.background_time_s() == pytest.approx(1.25)
+
+    def test_rebate_affects_category(self):
+        stats = IOStats()
+        stats.charge_time(2.0, CAT_COMPACTION)
+        stats.rebate_time(0.5, CAT_COMPACTION)
+        assert stats.time_per_category[CAT_COMPACTION] == pytest.approx(1.5)
+        assert stats.sim_time_s == pytest.approx(1.5)
+
+    def test_snapshot_delta_includes_times(self):
+        stats = IOStats()
+        stats.charge_time(1.0, CAT_COMPACTION)
+        snap = stats.snapshot()
+        stats.charge_time(0.5, CAT_COMPACTION)
+        delta = stats.delta_since(snap)
+        assert delta.time_per_category[CAT_COMPACTION] == pytest.approx(0.5)
+        assert delta.background_time_s() == pytest.approx(0.5)
+
+    def test_engine_times_sum_to_total(self):
+        db = make_db("selective")
+        order = list(range(600))
+        random.Random(1).shuffle(order)
+        for i in order:
+            db.put(*kv(i))
+        for i in range(0, 600, 7):
+            db.get(kv(i)[0])
+        total = db.io_stats.sim_time_s
+        by_cat = sum(db.io_stats.time_per_category.values())
+        assert by_cat == pytest.approx(total, rel=1e-9)
+        assert db.io_stats.background_time_s() > 0
+        assert db.io_stats.time_per_category[CAT_GET] > 0
+        db.close()
+
+
+class TestOverlappedTime:
+    def test_runner_reports_fg_bg_split(self):
+        db = make_db("table")
+        result = load_db(db, 400, value_size=64, seed=1)
+        assert result.background_time_s > 0
+        assert result.foreground_time_s > 0
+        assert result.foreground_time_s + result.background_time_s == pytest.approx(
+            result.sim_time_s, rel=1e-9
+        )
+        assert result.overlapped_time_s == max(
+            result.foreground_time_s, result.background_time_s
+        )
+        db.close()
+
+    def test_read_only_workload_is_pure_foreground(self):
+        db = make_db("table")
+        load_db(db, 300, value_size=64, seed=1)
+        spec = WorkloadSpec("ro", read_ratio=1.0, write_ratio=0.0)
+        result = run_workload(db, spec, 100, 300, value_size=64, seed=2)
+        assert result.background_time_s == 0.0
+        assert result.overlapped_time_s == pytest.approx(result.foreground_time_s)
+        db.close()
+
+    def test_overlap_never_exceeds_serial(self):
+        db = make_db("selective")
+        load_db(db, 300, value_size=64, seed=1)
+        spec = WorkloadSpec("mix", read_ratio=0.5, write_ratio=0.5, write_mode="update")
+        result = run_workload(db, spec, 300, 300, value_size=64, seed=2)
+        assert result.overlapped_time_s <= result.sim_time_s + 1e-12
+        assert result.overlapped_time_s >= result.sim_time_s / 2 - 1e-12
+        db.close()

@@ -1,0 +1,192 @@
+"""YCSB substrate tests: distributions, workload specs, runner."""
+
+import math
+
+import pytest
+
+from conftest import make_db
+from repro.ycsb.runner import load_db, run_workload
+from repro.ycsb.workloads import (
+    SCAN_WORKLOADS,
+    STANDARD_WORKLOADS,
+    WorkloadSpec,
+    by_name,
+    make_key,
+    make_value,
+)
+from repro.ycsb.zipfian import (
+    ScrambledZipfianGenerator,
+    UniformGenerator,
+    ZipfianGenerator,
+    fnv1a_64,
+    make_generator,
+)
+
+
+class TestGenerators:
+    def test_uniform_range_and_determinism(self):
+        g1 = UniformGenerator(100, seed=7)
+        g2 = UniformGenerator(100, seed=7)
+        samples = [g1.next() for _ in range(1000)]
+        assert all(0 <= s < 100 for s in samples)
+        assert samples == [g2.next() for _ in range(1000)]
+
+    def test_uniform_covers_space(self):
+        g = UniformGenerator(10, seed=1)
+        assert set(g.next() for _ in range(1000)) == set(range(10))
+
+    def test_zipf_in_range(self):
+        g = ZipfianGenerator(1000, theta=0.9, seed=3)
+        assert all(0 <= g.next() < 1000 for _ in range(5000))
+
+    def test_zipf_skew_concentrates_head(self):
+        g = ZipfianGenerator(10_000, theta=0.9, seed=3)
+        samples = [g.next() for _ in range(20_000)]
+        head = sum(1 for s in samples if s < 100)  # top 1% of items
+        assert head / len(samples) > 0.3
+
+    def test_higher_theta_more_skew(self):
+        def head_mass(theta):
+            g = ZipfianGenerator(10_000, theta=theta, seed=3)
+            samples = [g.next() for _ in range(20_000)]
+            return sum(1 for s in samples if s < 100)
+
+        assert head_mass(0.99) > head_mass(0.7)
+
+    def test_scrambled_spreads_hot_items(self):
+        g = ScrambledZipfianGenerator(10_000, theta=0.9, seed=3)
+        samples = [g.next() for _ in range(20_000)]
+        assert all(0 <= s < 10_000 for s in samples)
+        # hottest item no longer 0; hot set spread across the space
+        hot = max(set(samples), key=samples.count)
+        counts_low = sum(1 for s in samples if s < 100)
+        assert counts_low / len(samples) < 0.1
+
+    def test_fnv_is_deterministic(self):
+        assert fnv1a_64(12345) == fnv1a_64(12345)
+        assert fnv1a_64(1) != fnv1a_64(2)
+
+    def test_make_generator_dispatch(self):
+        assert isinstance(make_generator(10, None), UniformGenerator)
+        assert isinstance(make_generator(10, 0.9), ScrambledZipfianGenerator)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfianGenerator(0)
+        with pytest.raises(ValueError):
+            ZipfianGenerator(10, theta=1.5)
+        with pytest.raises(ValueError):
+            UniformGenerator(0)
+
+
+class TestWorkloadSpecs:
+    def test_table_iii_mixes(self):
+        mixes = {s.name: (s.read_ratio, s.write_ratio) for s in STANDARD_WORKLOADS}
+        assert mixes == {
+            "WO": (0.0, 1.0),
+            "WH": (0.2, 0.8),
+            "RW": (0.5, 0.5),
+            "RH": (0.8, 0.2),
+            "RO": (1.0, 0.0),
+        }
+
+    def test_scan_workload_mixes(self):
+        assert [s.name for s in SCAN_WORKLOADS] == ["SCAN-RO", "SCAN-RH", "SCAN-BA", "SCAN-WH"]
+        for s in SCAN_WORKLOADS:
+            assert s.read_ratio == 0.0
+            assert s.scan_min_len == 1 and s.scan_max_len == 100
+            assert s.write_mode == "insert"
+
+    def test_ratio_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec("bad", read_ratio=0.5, write_ratio=0.2)
+        with pytest.raises(ValueError):
+            WorkloadSpec("bad", read_ratio=0.5, write_ratio=0.5, write_mode="upsert")
+
+    def test_by_name(self):
+        assert by_name("RW").read_ratio == 0.5
+        assert by_name("SCAN-BA").scan_ratio == 0.5
+        with pytest.raises(KeyError):
+            by_name("nope")
+
+    def test_with_mode(self):
+        spec = by_name("WH").with_mode("update")
+        assert spec.write_mode == "update"
+        assert by_name("WH").write_mode == "insert"
+
+    def test_keys_fixed_width_and_sorted(self):
+        keys = [make_key(i) for i in (0, 1, 9, 10, 999, 10**6)]
+        assert all(len(k) == 32 for k in keys)
+        assert keys == sorted(keys)
+
+    def test_values_sized_and_distinct_by_generation(self):
+        v0 = make_value(7, 0, 128)
+        v1 = make_value(7, 1, 128)
+        assert len(v0) == len(v1) == 128
+        assert v0 != v1
+
+
+class TestRunner:
+    def test_load_inserts_all_keys(self):
+        db = make_db("table")
+        result = load_db(db, 50, value_size=64, seed=1)
+        assert result.writes == result.ops == 50
+        for i in range(50):
+            assert db.get(make_key(i)) == make_value(i, 0, 64)
+        db.close()
+
+    def test_load_sequential_order(self):
+        db = make_db("table")
+        load_db(db, 30, value_size=64, order="sequential")
+        assert db.get(make_key(29)) is not None
+        with pytest.raises(ValueError):
+            load_db(db, 5, order="bogus")
+        db.close()
+
+    def test_throughput_sampling(self):
+        db = make_db("table")
+        result = load_db(db, 100, value_size=64, sample_every=25)
+        assert len(result.throughput_curve) == 4
+        assert [s.ops_done for s in result.throughput_curve] == [25, 50, 75, 100]
+        assert all(s.ops_per_sec > 0 for s in result.throughput_curve)
+        db.close()
+
+    def test_mixed_workload_counts(self):
+        db = make_db("table")
+        load_db(db, 100, value_size=64)
+        spec = WorkloadSpec("mix", read_ratio=0.5, write_ratio=0.5, write_mode="update")
+        result = run_workload(db, spec, 200, 100, value_size=64, seed=2)
+        assert result.ops == 200
+        assert result.reads + result.writes == 200
+        assert 40 < result.reads < 160  # both sides exercised
+        assert result.reads_found == result.reads  # updates: all keys exist
+        db.close()
+
+    def test_insert_mode_extends_keyspace(self):
+        db = make_db("table")
+        load_db(db, 50, value_size=64)
+        spec = WorkloadSpec("ins", read_ratio=0.0, write_ratio=1.0, write_mode="insert")
+        run_workload(db, spec, 30, 50, value_size=64)
+        assert db.get(make_key(79)) is not None
+        db.close()
+
+    def test_scan_workload(self):
+        db = make_db("table")
+        load_db(db, 100, value_size=64)
+        spec = WorkloadSpec(
+            "sc", read_ratio=0.0, write_ratio=0.0, scan_ratio=1.0, scan_max_len=10
+        )
+        result = run_workload(db, spec, 20, 100, value_size=64)
+        assert result.scans == 20
+        assert 0 < result.scan_entries <= 200
+        db.close()
+
+    def test_measurement_isolated_from_load(self):
+        db = make_db("table")
+        load_db(db, 100, value_size=64)
+        before = db.io_stats.bytes_written
+        spec = WorkloadSpec("ro", read_ratio=1.0, write_ratio=0.0)
+        result = run_workload(db, spec, 50, 100, value_size=64)
+        assert result.bytes_written == db.io_stats.bytes_written - before
+        assert result.sim_time_s > 0
+        db.close()
