@@ -1,0 +1,6 @@
+"""Hot-path microbenchmark suite (see ``benchmarks/perf/harness.py``).
+
+Run ``python benchmarks/perf/harness.py`` to measure every hot path and
+write ``BENCH_hotpaths.json`` at the repo root; add ``--check`` to compare
+against the committed baseline and fail on >20% regression.
+"""

@@ -1,0 +1,487 @@
+"""Hot-path perf-regression harness.
+
+Measures wall-clock throughput of the engine's hot paths and writes
+``BENCH_hotpaths.json`` at the repo root: ops/sec and ns/op per path, plus
+— for the paths with a frozen reference implementation in
+``repro._reference`` — the speedup of the optimized path over the
+reference *measured in the same process on the same machine*, which makes
+the before/after claim reproducible on any checkout.
+
+Usage::
+
+    python benchmarks/perf/harness.py                # full run, refresh JSON
+    python benchmarks/perf/harness.py --quick        # CI smoke (smaller corpora)
+    python benchmarks/perf/harness.py --check        # compare vs committed
+                                                     # baseline; exit 1 on a
+                                                     # >20% regression
+    python benchmarks/perf/harness.py --check --quick
+
+``--check`` does not rewrite the baseline; a plain run does.  The paths:
+
+=================  ==========================================================
+varint_roundtrip   encode+decode a mixed-magnitude integer corpus
+block_encode       BlockBuilder over a corpus of internal keys
+block_decode       DataBlock.parse of the built blocks
+merge_visible      fused k-way merge + visibility (the read/scan inner loop)
+compaction_merge   fused merge_live (the compaction inner loop)
+point_get          DB.get against a compacted simulated DB
+seq_fill           DB.put of a fresh sequential load (WAL + flush + compaction)
+scan               full-range DB iterator drain
+full_compaction    DB.compact_all() on a freshly loaded tree
+=================  ==========================================================
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import platform
+import random
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[2]
+if str(ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(ROOT / "src"))
+
+BASELINE_PATH = ROOT / "BENCH_hotpaths.json"
+REGRESSION_TOLERANCE = 0.20
+
+
+def _time_best(fn, repeats: int) -> tuple[float, int]:
+    """Best-of-``repeats`` wall time of ``fn`` (returns its unit count)."""
+    best = math.inf
+    units = 0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        units = fn()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return best, units
+
+
+class Suite:
+    """Collects path results and renders/compares the JSON report."""
+
+    def __init__(self, quick: bool):
+        self.quick = quick
+        self.repeats = 3 if quick else 5
+        #: The micro paths are cheap per round; more rounds buys a stabler
+        #: best-of under machine-load noise (best-of-N converges to the
+        #: true floor, since contention only ever adds time).
+        self.micro_repeats = 3 if quick else 25
+        self.results: dict[str, dict] = {}
+
+    def measure(self, name: str, fn, unit: str, reference=None, repeats: int | None = None):
+        """Benchmark ``fn`` (and ``reference``, when given) and record it.
+
+        When a reference arm is present the two arms run *interleaved*,
+        round by round, so transient machine-load swings hit both arms
+        rather than biasing whichever happened to run in the noisy window;
+        best-of-``repeats`` is kept per arm.
+        """
+        reps = repeats if repeats is not None else self.repeats
+        if reference is None:
+            elapsed, units = _time_best(fn, reps)
+        else:
+            elapsed = ref_elapsed = math.inf
+            units = ref_units = 0
+            for _ in range(reps):
+                start = time.perf_counter()
+                units = fn()
+                elapsed = min(elapsed, time.perf_counter() - start)
+                start = time.perf_counter()
+                ref_units = reference()
+                ref_elapsed = min(ref_elapsed, time.perf_counter() - start)
+        entry = {
+            "unit": unit,
+            "ops_per_sec": round(units / elapsed, 1),
+            "ns_per_op": round(elapsed / units * 1e9, 1),
+        }
+        if reference is not None:
+            entry["reference_ops_per_sec"] = round(ref_units / ref_elapsed, 1)
+            entry["speedup_vs_reference"] = round(
+                (units / elapsed) / (ref_units / ref_elapsed), 2
+            )
+        self.results[name] = entry
+        speedup = entry.get("speedup_vs_reference")
+        suffix = f"  ({speedup}x vs reference)" if speedup is not None else ""
+        print(
+            f"  {name:<18} {entry['ops_per_sec']:>14,.0f} {unit}/s"
+            f"  {entry['ns_per_op']:>10,.1f} ns/{unit}{suffix}"
+        )
+
+    def report(self) -> dict:
+        return {
+            "meta": {
+                "python": platform.python_version(),
+                "quick": self.quick,
+                "tolerance": REGRESSION_TOLERANCE,
+            },
+            "paths": self.results,
+        }
+
+
+# --------------------------------------------------------------- micro paths
+
+
+def bench_varint(suite: Suite) -> None:
+    """Varint encode+decode round-trip, optimized vs reference codec."""
+    from repro import _reference, encoding
+
+    # Mix modelled on what the engine actually encodes: block-entry headers
+    # (shared/non_shared/value_len, almost always 1 byte), index/manifest
+    # geometry (offsets and sizes, mostly 2 bytes), and the occasional
+    # file-size/sequence-scale value.
+    rng = random.Random(11)
+    corpus = (
+        [rng.randrange(0, 0x80) for _ in range(7000)]
+        + [rng.randrange(0x80, 0x4000) for _ in range(2500)]
+        + [rng.randrange(0x4000, 1 << 28) for _ in range(500)]
+    )
+    rng.shuffle(corpus)
+    if suite.quick:
+        corpus = corpus[:1000]
+    rounds = 5
+
+    def run(encode, decode):
+        def inner():
+            for _ in range(rounds):
+                for value in corpus:
+                    buf = encode(value)
+                    decode(buf, 0)
+            return rounds * len(corpus)
+
+        return inner
+
+    suite.measure(
+        "varint_roundtrip",
+        run(encoding.encode_varint, encoding.decode_varint),
+        "op",
+        reference=run(_reference.encode_varint, _reference.decode_varint),
+        repeats=suite.micro_repeats,
+    )
+
+
+def _entry_corpus(count: int) -> list[tuple[bytes, bytes]]:
+    """Sorted ``(internal_key, value)`` pairs shaped like real SSTable data."""
+    from repro.keys import TYPE_VALUE, make_internal_key
+
+    rng = random.Random(5)
+    entries = []
+    for i in range(count):
+        user_key = b"user%019d" % (i * 3)
+        entries.append(
+            (
+                make_internal_key(user_key, count - i, TYPE_VALUE),
+                rng.randbytes(64),
+            )
+        )
+    return entries
+
+
+def bench_block_codec(suite: Suite) -> None:
+    """Block encode (builder) and decode (parse), optimized vs reference."""
+    from repro import _reference
+    from repro.sstable.block import DataBlock
+    from repro.sstable.block_builder import BlockBuilder
+
+    entries = _entry_corpus(200 if suite.quick else 2000)
+    per_block = 100  # ~ a 4 KiB block's worth of 100-byte entries
+
+    def encode_with(builder_cls):
+        def inner():
+            builder = builder_cls()
+            for start in range(0, len(entries), per_block):
+                builder.reset()
+                for key, value in entries[start : start + per_block]:
+                    builder.add(key, value)
+                builder.finish()
+            return len(entries)
+
+        return inner
+
+    suite.measure(
+        "block_encode",
+        encode_with(BlockBuilder),
+        "entry",
+        reference=encode_with(_reference.ReferenceBlockBuilder),
+        repeats=suite.micro_repeats,
+    )
+
+    builder = BlockBuilder()
+    payloads = []
+    for start in range(0, len(entries), per_block):
+        builder.reset()
+        for key, value in entries[start : start + per_block]:
+            builder.add(key, value)
+        payloads.append(builder.finish())
+
+    def decode_fast():
+        total = 0
+        for payload in payloads:
+            total += len(DataBlock.parse(payload).keys)
+        return total
+
+    def decode_reference():
+        total = 0
+        for payload in payloads:
+            total += len(_reference.parse_block(payload)[0])
+        return total
+
+    suite.measure(
+        "block_decode",
+        decode_fast,
+        "entry",
+        reference=decode_reference,
+        repeats=suite.micro_repeats,
+    )
+
+
+def _merge_sources(num_sources: int, per_source: int):
+    """Disjointly interleaved sorted comparable-key sources, 10% tombstones."""
+    from repro.keys import TYPE_DELETION, TYPE_VALUE, comparable_key
+
+    rng = random.Random(17)
+    sources = []
+    seq = 1
+    for s in range(num_sources):
+        entries = []
+        for i in range(per_source):
+            user_key = b"user%019d" % (i * num_sources + s)
+            value_type = TYPE_DELETION if rng.random() < 0.1 else TYPE_VALUE
+            entries.append((comparable_key(user_key, seq, value_type), b"v" * 32))
+            seq += 1
+        sources.append(entries)
+    return sources
+
+
+def bench_merge(suite: Suite) -> None:
+    """Fused merge+visibility and compaction merge vs the generator stacks."""
+    from repro import _reference
+    from repro.compaction.base import merge_live
+    from repro.core.merge import merge_visible
+    from repro.keys import MAX_SEQUENCE
+
+    per_source = 300 if suite.quick else 3000
+    sources = _merge_sources(6, per_source)
+    total = 6 * per_source
+
+    def visible_fast():
+        count = 0
+        for _ in merge_visible([iter(s) for s in sources], MAX_SEQUENCE):
+            count += 1
+        return total
+
+    def visible_reference():
+        count = 0
+        for _ in _reference.merge_visible([iter(s) for s in sources], MAX_SEQUENCE):
+            count += 1
+        return total
+
+    suite.measure(
+        "merge_visible",
+        visible_fast,
+        "entry",
+        reference=visible_reference,
+        repeats=suite.micro_repeats,
+    )
+
+    # Compaction's dominant merge shape is two-source: the partitioned
+    # parent slice against one child SSTable (Block Compaction's
+    # ``UpdateBlock``) or one parent file against the overlapping child run.
+    two_sources = _merge_sources(2, 3 * per_source)
+    pair_total = 6 * per_source
+
+    def live_fast():
+        for _ in merge_live([iter(s) for s in two_sources], lambda _k: True):
+            pass
+        return pair_total
+
+    def live_reference():
+        for _ in _reference.merge_live([iter(s) for s in two_sources], lambda _k: True):
+            pass
+        return pair_total
+
+    suite.measure(
+        "compaction_merge",
+        live_fast,
+        "entry",
+        reference=live_reference,
+        repeats=suite.micro_repeats,
+    )
+
+
+# ------------------------------------------------------------------ DB paths
+
+
+def _perf_options():
+    from repro.options import Options
+
+    # Cache deliberately smaller than the dataset so point gets keep
+    # decoding blocks (the hot path under test) instead of serving a fully
+    # warm cache.
+    return Options(
+        block_size=4096,
+        sstable_size=64 * 1024,
+        memtable_size=32 * 1024,
+        max_levels=6,
+        block_cache_capacity=128 * 1024,
+    )
+
+
+def _fresh_db(seed: int = 1):
+    from repro.core.db import DB
+    from repro.storage.fs import SimulatedFS
+
+    return DB(SimulatedFS(), _perf_options(), seed=seed)
+
+
+def _load_keys(db, count: int, value_size: int = 100) -> list[bytes]:
+    keys = []
+    value = b"x" * value_size
+    for i in range(count):
+        key = b"user%019d" % i
+        db.put(key, value)
+        keys.append(key)
+    return keys
+
+
+def bench_db_paths(suite: Suite) -> None:
+    """End-to-end engine paths over the simulated FS (no reference arm —
+    compare these across harness runs / baselines instead)."""
+    fill_count = 400 if suite.quick else 4000
+
+    def seq_fill():
+        db = _fresh_db()
+        _load_keys(db, fill_count)
+        db.close()
+        return fill_count
+
+    suite.measure("seq_fill", seq_fill, "put", repeats=3)
+
+    db = _fresh_db()
+    keys = _load_keys(db, fill_count)
+    db.compact_all()
+    rng = random.Random(23)
+    lookup_keys = [rng.choice(keys) for _ in range(fill_count)]
+
+    def point_get():
+        for key in lookup_keys:
+            db.get(key)
+        return len(lookup_keys)
+
+    suite.measure("point_get", point_get, "get")
+
+    def scan():
+        count = 0
+        with db.iterator() as it:
+            for _ in it:
+                count += 1
+        return count
+
+    suite.measure("scan", scan, "entry")
+    db.close()
+
+    def full_compaction():
+        fresh = _fresh_db(seed=3)
+        _load_keys(fresh, fill_count)
+        start = time.perf_counter()
+        fresh.compact_all()
+        elapsed = time.perf_counter() - start
+        fresh.close()
+        return elapsed
+
+    # compact_all needs a fresh tree per repeat, so time it inside the loop.
+    best = min(full_compaction() for _ in range(3 if suite.quick else 4))
+    suite.results["full_compaction"] = {
+        "unit": "entry",
+        "ops_per_sec": round(fill_count / best, 1),
+        "ns_per_op": round(best / fill_count * 1e9, 1),
+    }
+    print(
+        f"  {'full_compaction':<18} {fill_count / best:>14,.0f} entry/s"
+        f"  {best / fill_count * 1e9:>10,.1f} ns/entry"
+    )
+
+
+# ----------------------------------------------------------------- reporting
+
+
+def check_against_baseline(report: dict, baseline_path: Path) -> int:
+    """Compare ``report`` with the committed baseline; return exit status.
+
+    Paths benchmarked against an in-process reference arm are compared by
+    their ``speedup_vs_reference`` ratio — both arms run on the same
+    machine in the same process, so the ratio is portable across machines
+    (and across quick/full modes), unlike raw ops/sec.  DB-level paths
+    have no reference arm; their absolute numbers are machine-dependent,
+    so they are reported but never fail the check.
+    """
+    if not baseline_path.exists():
+        print(f"no baseline at {baseline_path}; nothing to check against")
+        return 0
+    baseline = json.loads(baseline_path.read_text())
+    failures = []
+    for name, entry in report["paths"].items():
+        base = baseline.get("paths", {}).get(name)
+        if base is None:
+            continue
+        current = entry.get("speedup_vs_reference")
+        reference = base.get("speedup_vs_reference")
+        if current is None or reference is None or not reference:
+            print(f"  {name:<18}    (machine-dependent; not checked)")
+            continue
+        ratio = current / reference
+        marker = ""
+        if ratio < 1.0 - REGRESSION_TOLERANCE:
+            failures.append((name, ratio))
+            marker = "  << REGRESSION"
+        print(
+            f"  {name:<18} {current:>6.2f}x vs reference"
+            f" (baseline {reference:.2f}x){marker}"
+        )
+    if failures:
+        print(f"\nFAIL: {len(failures)} path(s) regressed more than "
+              f"{REGRESSION_TOLERANCE:.0%} vs {baseline_path.name}")
+        return 1
+    print("\nOK: no path regressed more than "
+          f"{REGRESSION_TOLERANCE:.0%} vs {baseline_path.name}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the suite; write the JSON report or check it against baseline."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI smoke sizes")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against the committed baseline instead of rewriting it",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=BASELINE_PATH, help="report path"
+    )
+    args = parser.parse_args(argv)
+
+    suite = Suite(quick=args.quick)
+    print(f"hot-path perf harness ({'quick' if args.quick else 'full'} mode)")
+    bench_varint(suite)
+    bench_block_codec(suite)
+    bench_merge(suite)
+    bench_db_paths(suite)
+    report = suite.report()
+
+    if args.check:
+        print()
+        return check_against_baseline(report, args.output)
+    args.output.write_text(json.dumps(report, indent=1, sort_keys=True) + "\n")
+    print(f"\nwrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

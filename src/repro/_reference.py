@@ -1,0 +1,266 @@
+"""Frozen reference implementations of the engine's hot paths.
+
+These are verbatim copies of the straightforward (pre-optimization)
+implementations of the varint codec, the data-block codec, the merge/
+visibility stack, and the LPT scheduler.  They exist for two reasons:
+
+* **Property tests** (``tests/test_property_hotpaths.py``) cross-check every
+  optimized fast path against these on random inputs — including the
+  corruption-raising paths — so the fast paths can never silently drift
+  from the spec.
+* **The perf harness** (``benchmarks/perf/``) benchmarks the optimized
+  paths *against* these on the same machine in the same process, which is
+  what makes the speedup numbers in ``BENCH_hotpaths.json`` reproducible
+  anywhere rather than tied to one historical checkout.
+
+Nothing in the engine itself may import this module; it is test/benchmark
+collateral.  Do not "optimize" these copies — their slowness is the point.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Iterable, Iterator
+
+from .errors import CorruptionError
+from .keys import (
+    TYPE_DELETION,
+    ComparableKey,
+    comparable_from_internal,
+    comparable_parts,
+    comparable_to_internal,
+)
+
+# --------------------------------------------------------------------- varints
+
+
+def encode_varint(value: int) -> bytes:
+    """Reference LEB128 encoder: the plain shift loop."""
+    if value < 0:
+        raise ValueError(f"varints encode non-negative integers, got {value}")
+    out = bytearray()
+    while value >= 0x80:
+        out.append((value & 0x7F) | 0x80)
+        value >>= 7
+    out.append(value)
+    return bytes(out)
+
+
+def decode_varint(buf: bytes, offset: int = 0) -> tuple[int, int]:
+    """Reference LEB128 decoder: one byte per loop iteration."""
+    result = 0
+    shift = 0
+    pos = offset
+    end = len(buf)
+    while pos < end:
+        byte = buf[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+        if shift > 63:
+            raise CorruptionError("varint too long (more than 64 bits)")
+    raise CorruptionError("truncated varint")
+
+
+def shared_prefix_len(a: bytes, b: bytes) -> int:
+    """Reference common-prefix scan: byte-at-a-time."""
+    limit = min(len(a), len(b))
+    i = 0
+    while i < limit and a[i] == b[i]:
+        i += 1
+    return i
+
+
+# ----------------------------------------------------------------- data blocks
+
+
+def decode_fixed32(buf: bytes, offset: int = 0) -> int:
+    """Little-endian fixed32 decode (shared with the live implementation)."""
+    import struct
+
+    return struct.unpack_from("<I", buf, offset)[0]
+
+
+def parse_block(payload: bytes) -> tuple[list[ComparableKey], list[bytes]]:
+    """Reference data-block decode: per-entry ``decode_varint`` calls and
+    ``bytes`` concatenation for every prefix-compressed key.
+
+    Returns the parallel ``(keys, values)`` lists that
+    :class:`repro.sstable.block.DataBlock` stores.
+    """
+    if len(payload) < 4:
+        raise CorruptionError("data block too short")
+    num_restarts = decode_fixed32(payload, len(payload) - 4)
+    data_end = len(payload) - 4 - 4 * num_restarts
+    if data_end < 0:
+        raise CorruptionError("data block restart array overruns payload")
+    keys: list[ComparableKey] = []
+    values: list[bytes] = []
+    offset = 0
+    prev_key = b""
+    while offset < data_end:
+        shared, offset = decode_varint(payload, offset)
+        non_shared, offset = decode_varint(payload, offset)
+        value_len, offset = decode_varint(payload, offset)
+        if shared > len(prev_key):
+            raise CorruptionError("prefix-compressed key shares more than previous key")
+        key_end = offset + non_shared
+        value_end = key_end + value_len
+        if value_end > data_end:
+            raise CorruptionError("data block entry overruns payload")
+        key = prev_key[:shared] + payload[offset:key_end]
+        keys.append(comparable_from_internal(key))
+        values.append(payload[key_end:value_end])
+        prev_key = key
+        offset = value_end
+    return keys, values
+
+
+class ReferenceBlockBuilder:
+    """Reference block encoder: per-field ``encode_varint`` concatenation."""
+
+    def __init__(self, restart_interval: int = 16):
+        if restart_interval < 1:
+            raise ValueError("restart_interval must be >= 1")
+        self._restart_interval = restart_interval
+        self.reset()
+
+    def reset(self) -> None:
+        self._buf = bytearray()
+        self._restarts: list[int] = [0]
+        self._count_since_restart = 0
+        self._last_key = b""
+        self.num_entries = 0
+
+    def add(self, key: bytes, value: bytes) -> None:
+        """Append one entry, prefix-compressing against the previous key."""
+        if self.num_entries > 0 and key == self._last_key:
+            raise ValueError("duplicate key added to block")
+        if self._count_since_restart >= self._restart_interval:
+            self._restarts.append(len(self._buf))
+            self._count_since_restart = 0
+            shared = 0
+        else:
+            shared = shared_prefix_len(self._last_key, key)
+        non_shared = key[shared:]
+        self._buf += encode_varint(shared)
+        self._buf += encode_varint(len(non_shared))
+        self._buf += encode_varint(len(value))
+        self._buf += non_shared
+        self._buf += value
+        self._last_key = key
+        self._count_since_restart += 1
+        self.num_entries += 1
+
+    def finish(self) -> bytes:
+        import struct
+
+        out = bytearray(self._buf)
+        for offset in self._restarts:
+            out += struct.pack("<I", offset)
+        out += struct.pack("<I", len(self._restarts))
+        return bytes(out)
+
+
+# ----------------------------------------------------------------- merge stack
+
+EntryStream = Iterable[tuple[ComparableKey, bytes]]
+
+
+def merge_sorted(sources: list[EntryStream]) -> Iterator[tuple[ComparableKey, bytes]]:
+    """Reference merge: :func:`heapq.merge` over the sources."""
+    if len(sources) == 1:
+        return iter(sources[0])
+    return heapq.merge(*sources)
+
+
+def visible_entries(
+    merged: EntryStream, snapshot_sequence: int
+) -> Iterator[tuple[bytes, bytes]]:
+    """Reference visibility pass layered over an already-merged stream."""
+    last_user_key: bytes | None = None
+    for comparable, value in merged:
+        user_key, sequence, value_type = comparable_parts(comparable)
+        if sequence > snapshot_sequence:
+            continue
+        if user_key == last_user_key:
+            continue
+        last_user_key = user_key
+        if value_type == TYPE_DELETION:
+            continue
+        yield user_key, value
+
+
+def merge_visible(
+    sources: list[EntryStream], snapshot_sequence: int, end: bytes | None = None
+) -> Iterator[tuple[bytes, bytes]]:
+    """Reference DB-iterator stack: ``heapq.merge`` + ``visible_entries`` +
+    an end-bound check applied *after* visibility filtering (so invisible
+    entries past the bound are still drained — the behaviour the fused merge
+    improves on)."""
+    for user_key, value in visible_entries(merge_sorted(sources), snapshot_sequence):
+        if end is not None and user_key >= end:
+            return
+        yield user_key, value
+
+
+def merge_keep_newest(
+    sources: list[Iterator[tuple[ComparableKey, bytes]]],
+    boundaries: list[int] | None = None,
+) -> Iterator[tuple[ComparableKey, bytes]]:
+    """Reference parent-side compaction merge (tombstones preserved)."""
+    from .core.snapshot import VersionKeeper
+
+    keeper = VersionKeeper(boundaries or [])
+    merged = heapq.merge(*sources) if len(sources) != 1 else iter(sources[0])
+    last_user_key: bytes | None = None
+    for comparable, value in merged:
+        user_key, sequence, _value_type = comparable_parts(comparable)
+        if user_key != last_user_key:
+            keeper.new_key()
+            last_user_key = user_key
+        if keeper.keep(sequence):
+            yield comparable, value
+
+
+def merge_live(
+    sources: list[Iterator[tuple[ComparableKey, bytes]]],
+    can_drop_tombstone: Callable[[bytes], bool],
+    boundaries: list[int] | None = None,
+) -> Iterator[tuple[bytes, bytes, bool]]:
+    """Reference compaction merge: newest version per snapshot stratum."""
+    from .core.snapshot import VersionKeeper
+
+    keeper = VersionKeeper(boundaries or [])
+    merged = heapq.merge(*sources) if len(sources) != 1 else iter(sources[0])
+    last_user_key: bytes | None = None
+    for comparable, value in merged:
+        user_key, sequence, value_type = comparable_parts(comparable)
+        if user_key != last_user_key:
+            keeper.new_key()
+            last_user_key = user_key
+        if not keeper.keep(sequence):
+            continue
+        if value_type == TYPE_DELETION:
+            if keeper.tombstone_unprotected(sequence) and can_drop_tombstone(user_key):
+                continue
+            yield comparable_to_internal(comparable), b"", True
+        else:
+            yield comparable_to_internal(comparable), value, False
+
+
+# ------------------------------------------------------------------- scheduler
+
+
+def lpt_makespan(durations: list[float], workers: int) -> float:
+    """Reference LPT schedule: O(workers) linear scan per task."""
+    if not durations:
+        return 0.0
+    if workers <= 1:
+        return sum(durations)
+    loads = [0.0] * workers
+    for duration in sorted(durations, reverse=True):
+        loads[loads.index(min(loads))] += duration
+    return max(loads)

@@ -14,12 +14,17 @@ key structure is the heart of the paper's cache-invalidation story:
 
 from __future__ import annotations
 
-from ..sstable.block import DataBlock
+from ..sstable.block import ParsedBlock
 from .lru import LRUCache, LRUStats
 
 
 class BlockCache:
-    """LRU over parsed data blocks, charged by serialized block size."""
+    """LRU over parsed data blocks, charged by serialized block size.
+
+    Entries may be eager :class:`~repro.sstable.block.DataBlock` or lazy
+    :class:`~repro.sstable.block.LazyDataBlock` instances; both charge the
+    serialized payload size, so the eviction behaviour is identical.
+    """
 
     def __init__(self, capacity_bytes: int):
         self._lru = LRUCache(capacity_bytes)
@@ -39,10 +44,10 @@ class BlockCache:
     def __len__(self) -> int:
         return len(self._lru)
 
-    def get(self, file_number: int, offset: int) -> DataBlock | None:
+    def get(self, file_number: int, offset: int) -> ParsedBlock | None:
         return self._lru.get((file_number, offset))
 
-    def insert(self, file_number: int, offset: int, block: DataBlock) -> None:
+    def insert(self, file_number: int, offset: int, block: ParsedBlock) -> None:
         self._lru.insert((file_number, offset), block, charge=block.memory_bytes())
 
     def invalidate_file(self, file_number: int) -> int:

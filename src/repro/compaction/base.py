@@ -8,23 +8,23 @@ coordinator.
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, Protocol
 
 from ..cache.block_cache import BlockCache
 from ..cache.table_cache import TableCache
-from ..keys import (
-    TYPE_DELETION,
-    ComparableKey,
-    comparable_parts,
-    comparable_to_internal,
-)
+from ..keys import ComparableKey, comparable_to_internal
+from ..core.merge import merge_entries
 from ..core.snapshot import VersionKeeper
 from ..metrics.stats import DBStats
 from ..options import Options
 from ..storage.fs import FileSystem
 from ..storage.io_stats import CAT_COMPACTION
 from ..core.version import FileMetadata, Version, VersionEdit
+
+_INVERT = (1 << 64) - 1
+_FIXED64_PACK = struct.Struct("<Q").pack
 
 
 class CompactionEnv(Protocol):
@@ -119,19 +119,31 @@ def merge_keep_newest(
     must survive this stage because they may shadow entries living in the
     child SSTable's data blocks (dropping them early would resurrect those
     values).
-    """
-    import heapq
 
-    keeper = VersionKeeper(boundaries or [])
-    merged = heapq.merge(*sources) if len(sources) != 1 else iter(sources[0])
+    With no live snapshots (``boundaries`` empty — the overwhelmingly common
+    case) retention degenerates to "newest version per user key", which
+    needs no :class:`VersionKeeper` at all: the loop is a merge plus one
+    bytes compare per entry.
+    """
     last_user_key: bytes | None = None
-    for comparable, value in merged:
-        user_key, sequence, _value_type = comparable_parts(comparable)
+    if not boundaries:
+        for entry in merge_entries(sources):
+            user_key = entry[0][0]
+            if user_key != last_user_key:
+                last_user_key = user_key
+                yield entry
+        return
+    keeper = VersionKeeper(boundaries)
+    new_key = keeper.new_key
+    keep = keeper.keep
+    invert = _INVERT
+    for entry in merge_entries(sources):
+        user_key, inv = entry[0]
         if user_key != last_user_key:
-            keeper.new_key()
+            new_key()
             last_user_key = user_key
-        if keeper.keep(sequence):
-            yield comparable, value
+        if keep((invert - inv) >> 8):
+            yield entry
 
 
 def merge_live(
@@ -145,20 +157,43 @@ def merge_live(
     Yields ``(internal_key, value, is_tombstone)``.  A tombstone is dropped
     only when no live snapshot can see beneath it *and* no deeper level may
     hold the key; otherwise it passes through and keeps shadowing.
-    """
-    import heapq
 
-    keeper = VersionKeeper(boundaries or [])
-    merged = heapq.merge(*sources) if len(sources) != 1 else iter(sources[0])
+    The per-entry sequence/type split is inlined integer arithmetic on the
+    inverted trailer (``_INVERT`` is all-ones so the low byte is
+    ``0xFF - type``), and internal keys are re-serialized with a prebound
+    ``struct`` pack: the loop makes no decoding calls for kept values.
+    With no live snapshots (``boundaries`` empty) the stratum logic
+    degenerates to "newest per user key" and the :class:`VersionKeeper` is
+    skipped entirely.
+    """
+    invert = _INVERT
+    pack_trailer = _FIXED64_PACK
     last_user_key: bytes | None = None
-    for comparable, value in merged:
-        user_key, sequence, value_type = comparable_parts(comparable)
-        if user_key != last_user_key:
-            keeper.new_key()
+    if not boundaries:
+        for comparable, value in merge_entries(sources):
+            user_key, inv = comparable
+            if user_key == last_user_key:
+                continue  # an older, shadowed version
             last_user_key = user_key
-        if not keeper.keep(sequence):
+            if inv & 0xFF == 0xFF:  # TYPE_DELETION
+                if can_drop_tombstone(user_key):
+                    continue
+                yield user_key + pack_trailer(invert - inv), b"", True
+            else:
+                yield user_key + pack_trailer(invert - inv), value, False
+        return
+    keeper = VersionKeeper(boundaries)
+    new_key = keeper.new_key
+    keep = keeper.keep
+    for comparable, value in merge_entries(sources):
+        user_key, inv = comparable
+        if user_key != last_user_key:
+            new_key()
+            last_user_key = user_key
+        sequence = (invert - inv) >> 8
+        if not keep(sequence):
             continue  # shadowed within its stratum
-        if value_type == TYPE_DELETION:
+        if inv & 0xFF == 0xFF:  # TYPE_DELETION
             if keeper.tombstone_unprotected(sequence) and can_drop_tombstone(user_key):
                 continue
             yield comparable_to_internal(comparable), b"", True

@@ -21,10 +21,10 @@ obsolete bytes until a later Table Compaction collects them.
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass, field
 from typing import Callable, Iterator
 
+from ..core.merge import merge_entries
 from ..core.snapshot import VersionKeeper
 from ..core.version import FileMetadata, clone_metadata
 from ..keys import (
@@ -47,6 +47,8 @@ from .base import (
 )
 
 ParentEntry = tuple[ComparableKey, bytes]
+
+_INVERT = (1 << 64) - 1
 
 
 @dataclass
@@ -113,18 +115,31 @@ def _update_block(
     snapshot stratum, so parent tombstones shadow child values without
     breaking live snapshots.
     """
-    keeper = VersionKeeper(boundaries)
-    merged = heapq.merge(iter(parent_entries), block_entries)
+    merged = merge_entries([iter(parent_entries), block_entries])
     last_user_key: bytes | None = None
+    if not boundaries:
+        # No live snapshots: keep the newest version per user key, dropping
+        # droppable tombstones — no VersionKeeper bookkeeping needed.
+        for comparable, value in merged:
+            user_key, inv = comparable
+            if user_key == last_user_key:
+                continue
+            last_user_key = user_key
+            if inv & 0xFF == 0xFF and can_drop_tombstone(user_key):
+                continue
+            session.add(comparable_to_internal(comparable), value)
+        return
+    keeper = VersionKeeper(boundaries)
     for comparable, value in merged:
-        user_key, sequence, value_type = comparable_parts(comparable)
+        user_key, inv = comparable
         if user_key != last_user_key:
             keeper.new_key()
             last_user_key = user_key
+        sequence = (_INVERT - inv) >> 8
         if not keeper.keep(sequence):
             continue
         if (
-            value_type == TYPE_DELETION
+            inv & 0xFF == 0xFF  # TYPE_DELETION
             and keeper.tombstone_unprotected(sequence)
             and can_drop_tombstone(user_key)
         ):

@@ -19,6 +19,7 @@ validate the scheduling itself.
 
 from __future__ import annotations
 
+from heapq import heapreplace
 from typing import Callable
 
 from ..storage.io_stats import CAT_COMPACTION, IOStats
@@ -27,15 +28,22 @@ from ..storage.io_stats import CAT_COMPACTION, IOStats
 def lpt_makespan(durations: list[float], workers: int) -> float:
     """Longest-processing-time-first makespan of ``durations`` on
     ``workers`` identical workers (a 4/3-approximation of optimal, and the
-    natural model of a greedy thread pool fed from a task queue)."""
+    natural model of a greedy thread pool fed from a task queue).
+
+    Each task goes to the least-loaded worker, tracked in a heap of
+    ``(load, worker_index)`` so assignment is O(log workers) rather than a
+    linear scan; the index tie-break matches the scan's first-minimum
+    choice, so results are bit-identical for any worker count.
+    """
     if not durations:
         return 0.0
     if workers <= 1:
         return sum(durations)
-    loads = [0.0] * workers
+    loads = [(0.0, index) for index in range(workers)]
     for duration in sorted(durations, reverse=True):
-        loads[loads.index(min(loads))] += duration
-    return max(loads)
+        load, index = loads[0]
+        heapreplace(loads, (load + duration, index))
+    return max(loads)[0]
 
 
 class SubtaskScheduler:

@@ -7,6 +7,7 @@ for any entry point that touches compaction first.
 """
 
 from .iterator import DBIterator, merge_sorted, visible_entries
+from .merge import merge_entries, merge_visible
 from .snapshot import Snapshot, SnapshotRegistry, VersionKeeper
 from .version import FileMetadata, Version, VersionEdit, new_file_metadata
 from .write_batch import WriteBatch
@@ -17,7 +18,9 @@ __all__ = [
     "Snapshot",
     "SnapshotRegistry",
     "VersionKeeper",
+    "merge_entries",
     "merge_sorted",
+    "merge_visible",
     "visible_entries",
     "FileMetadata",
     "Version",

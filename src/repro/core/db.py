@@ -15,7 +15,8 @@ makespan accounting.  See DESIGN.md §5.
 from __future__ import annotations
 
 import threading
-from typing import Iterator
+from itertools import chain
+from typing import Iterable, Iterator
 
 from ..cache.block_cache import BlockCache
 from ..cache.table_cache import TableCache
@@ -711,14 +712,16 @@ class DB:
 
     # ------------------------------------------------------------------ scans
 
-    def _file_entries(
+    def _file_blocks(
         self,
         level: int,
         meta: FileMetadata,
         seek: ComparableKey | None,
         category: str,
-    ) -> Iterator[tuple[ComparableKey, bytes]]:
-        """Lazy per-file entry stream that charges one seek on first use.
+    ) -> Iterator[Iterable[tuple[ComparableKey, bytes]]]:
+        """Lazy per-file stream of block-entry iterators, charging one seek
+        on the first entry actually produced (LevelDB's read sampling — a
+        file that is opened but yields nothing charges nothing).
 
         The reader is pinned for the generator's lifetime: a table cache
         eviction (or file retirement) must not close the handle while the
@@ -726,17 +729,31 @@ class DB:
         """
         reader = self.table_cache.get(meta.file_number, meta.file_name())
         reader.acquire()
-        charged = False
         try:
-            for item in reader.entries_from(
+            blocks = reader.entry_blocks(
                 seek, category=category, block_cache=self.block_cache
-            ):
-                if not charged:
-                    charged = True
-                    self._charge_scan_seek(level, meta)
-                yield item
+            )
+            for block_iter in blocks:
+                head = next(iter(block_iter), None)
+                if head is None:
+                    continue
+                self._charge_scan_seek(level, meta)
+                yield chain((head,), block_iter)
+                break
+            yield from blocks
         finally:
             reader.release()
+
+    def _file_entries(
+        self,
+        level: int,
+        meta: FileMetadata,
+        seek: ComparableKey | None,
+        category: str,
+    ) -> Iterator[tuple[ComparableKey, bytes]]:
+        """Flattened view of :meth:`_file_blocks`: per-entry iteration stays
+        at C level (``chain`` over ``zip``); Python resumes once per block."""
+        return chain.from_iterable(self._file_blocks(level, meta, seek, category))
 
     def _charge_scan_seek(self, level: int, meta: FileMetadata) -> None:
         """Iterators sample a seek charge per file they actually read —
@@ -762,14 +779,20 @@ class DB:
             ):
                 self._run_due_compactions()
 
-    def _level_entries(
+    def _level_blocks(
         self,
         level: int,
         files: list[FileMetadata],
         seek: ComparableKey | None,
         category: str,
-    ) -> Iterator[tuple[ComparableKey, bytes]]:
-        """Concatenated stream over one sorted level."""
+        end: bytes | None = None,
+    ) -> Iterator[Iterable[tuple[ComparableKey, bytes]]]:
+        """Block-entry iterators across one sorted level, in key order.
+
+        Files wholly at or past the ``end`` bound are never opened: within a
+        sorted level key ranges are disjoint and ordered, so the first file
+        starting at/after ``end`` terminates the stream.
+        """
         start = 0
         if seek is not None:
             user_key = seek[0]
@@ -777,8 +800,24 @@ class DB:
                 start += 1
         for i in range(start, len(files)):
             meta = files[i]
+            if end is not None and meta.smallest_user_key >= end:
+                return
             file_seek = seek if i == start else None
-            yield from self._file_entries(level, meta, file_seek, category)
+            yield from self._file_blocks(level, meta, file_seek, category)
+
+    def _level_entries(
+        self,
+        level: int,
+        files: list[FileMetadata],
+        seek: ComparableKey | None,
+        category: str,
+        end: bytes | None = None,
+    ) -> Iterator[tuple[ComparableKey, bytes]]:
+        """Concatenated stream over one sorted level (flattened
+        :meth:`_level_blocks`; per-entry iteration stays at C level)."""
+        return chain.from_iterable(
+            self._level_blocks(level, files, seek, category, end)
+        )
 
     def _extra_entry_sources(
         self, seek: ComparableKey | None, category: str
@@ -818,11 +857,13 @@ class DB:
                 )
             sources.extend(self._extra_entry_sources(seek, CAT_SCAN))
             for meta in sorted(file_lists[0], key=lambda f: f.file_number, reverse=True):
+                if end is not None and meta.smallest_user_key >= end:
+                    continue  # wholly past the bound: never opened
                 sources.append(self._file_entries(0, meta, seek, CAT_SCAN))
             for level in range(1, self.version.num_levels):
                 if file_lists[level]:
                     sources.append(
-                        self._level_entries(level, file_lists[level], seek, CAT_SCAN)
+                        self._level_entries(level, file_lists[level], seek, CAT_SCAN, end)
                     )
 
             self.deletion_manager.pin()

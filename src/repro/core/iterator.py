@@ -2,27 +2,35 @@
 
 All internal sources (memtables, L0 tables, sorted levels) yield
 ``(ComparableKey, value)`` streams already sorted by comparable key.
-:func:`heapq.merge` combines them; because comparable keys embed the
-sequence number descending, the newest version of each user key arrives
-first, so visibility filtering is a single forward pass: keep the first
-visible version per user key and skip tombstoned keys.
+The fused k-way merge in :mod:`repro.core.merge` combines them; because
+comparable keys embed the sequence number descending, the newest version
+of each user key arrives first, so visibility filtering is a single
+forward pass fused into the same loop: keep the first visible version per
+user key and skip tombstoned keys.
+
+:func:`merge_sorted` and :func:`visible_entries` remain as the historical
+two-stage API (other modules and tests compose them directly); both are
+thin wrappers over the fused implementations.
 """
 
 from __future__ import annotations
 
-import heapq
 from typing import Callable, Iterable, Iterator
 
-from ..keys import TYPE_DELETION, ComparableKey, comparable_parts
+from ..keys import ComparableKey
+from .merge import (
+    _TOMBSTONE_LOW,
+    merge_entries,
+    merge_visible,
+    min_visible_inv,
+)
 
 EntryStream = Iterable[tuple[ComparableKey, bytes]]
 
 
 def merge_sorted(sources: list[EntryStream]) -> Iterator[tuple[ComparableKey, bytes]]:
     """Merge sorted entry streams into one sorted stream."""
-    if len(sources) == 1:
-        return iter(sources[0])
-    return heapq.merge(*sources)
+    return merge_entries(sources)
 
 
 def visible_entries(
@@ -35,17 +43,13 @@ def visible_entries(
     the first (newest) version per user key decides: tombstone -> the key is
     absent, value -> yielded once.
     """
+    min_inv = min_visible_inv(snapshot_sequence)
     last_user_key: bytes | None = None
-    for comparable, value in merged:
-        user_key, sequence, value_type = comparable_parts(comparable)
-        if sequence > snapshot_sequence:
-            continue
-        if user_key == last_user_key:
-            continue
-        last_user_key = user_key
-        if value_type == TYPE_DELETION:
-            continue
-        yield user_key, value
+    for (user_key, inv), value in merged:
+        if inv >= min_inv and user_key != last_user_key:
+            last_user_key = user_key
+            if inv & 0xFF != _TOMBSTONE_LOW:
+                yield user_key, value
 
 
 class DBIterator:
@@ -54,7 +58,10 @@ class DBIterator:
     Pins its sources at construction: the DB guarantees the backing files
     outlive the iterator (physical deletion is deferred while iterators are
     live).  ``close`` releases the pin; the iterator also auto-closes on
-    exhaustion.
+    exhaustion.  The end bound is enforced inside the fused merge, so
+    sources sorted past ``end`` are never drained — a bounded scan stops
+    pulling entries (and therefore blocks) the moment the merged head
+    reaches the bound.
     """
 
     def __init__(
@@ -64,8 +71,7 @@ class DBIterator:
         end: bytes | None = None,
         on_close: Callable[[], None] | None = None,
     ):
-        self._stream = visible_entries(merge_sorted(sources), snapshot_sequence)
-        self._end = end
+        self._stream = merge_visible(sources, snapshot_sequence, end)
         self._on_close = on_close
         self._closed = False
 
@@ -76,14 +82,10 @@ class DBIterator:
         if self._closed:
             raise StopIteration
         try:
-            user_key, value = next(self._stream)
+            return next(self._stream)
         except StopIteration:
             self.close()
             raise
-        if self._end is not None and user_key >= self._end:
-            self.close()
-            raise StopIteration
-        return user_key, value
 
     def close(self) -> None:
         if not self._closed:

@@ -8,12 +8,7 @@ version, then replays the data WAL into a fresh memtable.
 
 from __future__ import annotations
 
-from ..encoding import (
-    decode_varint,
-    encode_varint,
-    get_length_prefixed,
-    put_length_prefixed,
-)
+from ..encoding import BufferWriter, decode_varint, get_length_prefixed
 from ..errors import CorruptionError
 from ..memtable.wal import WalWriter, read_wal
 from ..storage.fs import FileSystem
@@ -34,16 +29,16 @@ def manifest_file_name(number: int) -> str:
     return f"MANIFEST-{number:06d}"
 
 
-def _encode_file(out: bytearray, level: int, meta: FileMetadata) -> None:
-    out += encode_varint(level)
-    out += encode_varint(meta.file_number)
-    out += encode_varint(meta.file_size)
-    out += encode_varint(meta.valid_bytes)
-    out += encode_varint(meta.num_entries)
-    put_length_prefixed(out, meta.smallest)
-    put_length_prefixed(out, meta.largest)
-    out += encode_varint(meta.allowed_seeks)
-    out += encode_varint(meta.append_count)
+def _encode_file(out: BufferWriter, level: int, meta: FileMetadata) -> None:
+    out.varint(level)
+    out.varint(meta.file_number)
+    out.varint(meta.file_size)
+    out.varint(meta.valid_bytes)
+    out.varint(meta.num_entries)
+    out.length_prefixed(meta.smallest)
+    out.length_prefixed(meta.largest)
+    out.varint(meta.allowed_seeks)
+    out.varint(meta.append_count)
 
 
 def _decode_file(buf: bytes, offset: int) -> tuple[int, FileMetadata, int]:
@@ -71,31 +66,31 @@ def _decode_file(buf: bytes, offset: int) -> tuple[int, FileMetadata, int]:
 
 def encode_edit(edit: VersionEdit) -> bytes:
     """Serialize an edit as a tagged record."""
-    out = bytearray()
+    out = BufferWriter()
     if edit.log_number is not None:
-        out += encode_varint(_TAG_LOG_NUMBER)
-        out += encode_varint(edit.log_number)
+        out.varint(_TAG_LOG_NUMBER)
+        out.varint(edit.log_number)
     if edit.next_file_number is not None:
-        out += encode_varint(_TAG_NEXT_FILE)
-        out += encode_varint(edit.next_file_number)
+        out.varint(_TAG_NEXT_FILE)
+        out.varint(edit.next_file_number)
     if edit.last_sequence is not None:
-        out += encode_varint(_TAG_LAST_SEQUENCE)
-        out += encode_varint(edit.last_sequence)
+        out.varint(_TAG_LAST_SEQUENCE)
+        out.varint(edit.last_sequence)
     for level, key in edit.compact_pointers:
-        out += encode_varint(_TAG_COMPACT_POINTER)
-        out += encode_varint(level)
-        put_length_prefixed(out, key)
+        out.varint(_TAG_COMPACT_POINTER)
+        out.varint(level)
+        out.length_prefixed(key)
     for level, number in edit.deleted_files:
-        out += encode_varint(_TAG_DELETED_FILE)
-        out += encode_varint(level)
-        out += encode_varint(number)
+        out.varint(_TAG_DELETED_FILE)
+        out.varint(level)
+        out.varint(number)
     for level, meta in edit.new_files:
-        out += encode_varint(_TAG_NEW_FILE)
+        out.varint(_TAG_NEW_FILE)
         _encode_file(out, level, meta)
     for level, meta in edit.updated_files:
-        out += encode_varint(_TAG_UPDATED_FILE)
+        out.varint(_TAG_UPDATED_FILE)
         _encode_file(out, level, meta)
-    return bytes(out)
+    return out.getvalue()
 
 
 def decode_edit(buf: bytes) -> VersionEdit:

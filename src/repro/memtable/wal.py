@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Iterator
 
-from ..encoding import crc32c, decode_fixed32, decode_varint, encode_fixed32, encode_varint
+from ..encoding import BufferWriter, crc32c, decode_fixed32, decode_varint
 from ..errors import CorruptionError
 from ..storage.fs import FileSystem, WritableFile
 from ..storage.io_stats import CAT_WAL
@@ -24,14 +24,21 @@ class WalWriter:
 
     def __init__(self, fs: FileSystem, name: str):
         self._file: WritableFile = fs.create_file(name, category=CAT_WAL)
+        self._writer = BufferWriter()
         self.name = name
 
     def add_record(self, payload: bytes) -> None:
-        record = bytearray()
-        record += encode_fixed32(crc32c(payload))
-        record += encode_varint(len(payload))
-        record += payload
-        self._file.append(bytes(record), category=CAT_WAL)
+        """Frame ``payload`` (crc, length, bytes) and append it to the log.
+
+        The frame is assembled in one persistent :class:`BufferWriter`,
+        cleared per record, so the write path allocates no intermediate
+        ``bytes`` objects.
+        """
+        writer = self._writer
+        writer.clear()
+        writer.fixed32(crc32c(payload))
+        writer.length_prefixed(payload)
+        self._file.append(writer.getvalue(), category=CAT_WAL)
 
     def size(self) -> int:
         return self._file.size()

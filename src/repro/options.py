@@ -116,6 +116,10 @@ class Options:
     block_cache_capacity: int = 4 * 1024 * 1024
     table_cache_capacity: int = 1000
     verify_checksums: bool = True
+    #: Parse data blocks lazily: point lookups decode only the restart
+    #: region they bisect into (see ``repro.sstable.block.LazyDataBlock``).
+    #: Purely a wall-clock optimization — simulated metrics are identical.
+    lazy_block_decode: bool = True
     #: Per-block codec: "none" (the paper's setting) or "zlib".
     compression: str = COMPRESSION_OFF
 

@@ -15,20 +15,28 @@ can binary-search restarts.  Keys are serialized internal keys.
 
 from __future__ import annotations
 
-from ..encoding import encode_fixed32, encode_varint, shared_prefix_len
+import struct
+
+from ..encoding import BufferWriter, shared_prefix_len
 
 
 class BlockBuilder:
-    """Accumulates sorted entries into one data-block payload."""
+    """Accumulates sorted entries into one data-block payload.
+
+    Entries are assembled straight into one reusable
+    :class:`~repro.encoding.BufferWriter`; :meth:`reset` keeps the buffer
+    allocation, so a table builder emitting many blocks reuses it.
+    """
 
     def __init__(self, restart_interval: int = 16):
         if restart_interval < 1:
             raise ValueError("restart_interval must be >= 1")
         self._restart_interval = restart_interval
+        self._writer = BufferWriter()
         self.reset()
 
     def reset(self) -> None:
-        self._buf = bytearray()
+        self._writer.clear()
         self._restarts: list[int] = [0]
         self._count_since_restart = 0
         self._last_key = b""
@@ -47,18 +55,19 @@ class BlockBuilder:
             # assert on exact duplicates here.
             if key == self._last_key:
                 raise ValueError("duplicate key added to block")
+        writer = self._writer
         if self._count_since_restart >= self._restart_interval:
-            self._restarts.append(len(self._buf))
+            self._restarts.append(len(writer))
             self._count_since_restart = 0
             shared = 0
         else:
             shared = shared_prefix_len(self._last_key, key)
         non_shared = key[shared:]
-        self._buf += encode_varint(shared)
-        self._buf += encode_varint(len(non_shared))
-        self._buf += encode_varint(len(value))
-        self._buf += non_shared
-        self._buf += value
+        writer.varint(shared)
+        writer.varint(len(non_shared))
+        writer.varint(len(value))
+        writer.append(non_shared)
+        writer.append(value)
         self._last_key = key
         self._count_since_restart += 1
         self.num_entries += 1
@@ -68,15 +77,13 @@ class BlockBuilder:
 
     def current_size_estimate(self) -> int:
         """Serialized size if finished now (payload only, no trailer)."""
-        return len(self._buf) + 4 * len(self._restarts) + 4
+        return len(self._writer) + 4 * len(self._restarts) + 4
 
     def empty(self) -> bool:
         return self.num_entries == 0
 
     def finish(self) -> bytes:
         """Serialize and return the block payload."""
-        out = bytearray(self._buf)
-        for offset in self._restarts:
-            out += encode_fixed32(offset)
-        out += encode_fixed32(len(self._restarts))
-        return bytes(out)
+        restarts = self._restarts
+        trailer = struct.pack(f"<{len(restarts) + 1}I", *restarts, len(restarts))
+        return self._writer.getvalue() + trailer

@@ -27,7 +27,7 @@ import bisect
 from dataclasses import dataclass
 from typing import Iterator
 
-from ..encoding import decode_varint, encode_varint, shared_prefix_len
+from ..encoding import BufferWriter, decode_varint, decode_varint3, shared_prefix_len
 from ..errors import CorruptionError
 from ..keys import user_key_of
 
@@ -104,21 +104,19 @@ class IndexBlock:
 
     def serialize(self) -> bytes:
         """Encode all entries in the paper's Fig 3 field order."""
-        out = bytearray()
-        out += encode_varint(len(self.entries))
+        writer = BufferWriter()
+        writer.varint(len(self.entries))
         for e in self.entries:
             shared = shared_prefix_len(e.smallest, e.largest)
             non_shared = e.smallest[shared:]
-            out += encode_varint(len(e.largest))
-            out += e.largest
-            out += encode_varint(shared)
-            out += encode_varint(len(non_shared))
-            out += non_shared
-            out += encode_varint(e.size)
-            out += encode_varint(e.offset)
-            out += encode_varint(e.num_entries)
-        self._serialized_size = len(out)
-        return bytes(out)
+            writer.length_prefixed(e.largest)
+            writer.varint(shared)
+            writer.length_prefixed(non_shared)
+            writer.varint(e.size)
+            writer.varint(e.offset)
+            writer.varint(e.num_entries)
+        self._serialized_size = len(writer)
+        return writer.getvalue()
 
     @classmethod
     def deserialize(cls, payload: bytes) -> "IndexBlock":
@@ -140,9 +138,7 @@ class IndexBlock:
             if shared > len(largest):
                 raise CorruptionError("index entry shares more bytes than its key has")
             smallest = largest[:shared] + non_shared
-            size, offset = decode_varint(payload, offset)
-            block_offset, offset = decode_varint(payload, offset)
-            num_entries, offset = decode_varint(payload, offset)
+            size, block_offset, num_entries, offset = decode_varint3(payload, offset)
             entries.append(IndexEntry(smallest, largest, block_offset, size, num_entries))
         block = cls(entries)
         block._serialized_size = len(payload)

@@ -12,14 +12,15 @@ between blocks without I/O), then exactly one data block.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterator
+from itertools import chain
+from typing import TYPE_CHECKING, Iterable, Iterator
 
 from ..errors import CorruptionError
 from ..keys import ComparableKey, seek_comparable
 from ..options import Options
 from ..storage.fs import FileSystem
 from ..storage.io_stats import CAT_GET, CAT_OPEN, CAT_SCAN
-from .block import DataBlock
+from .block import DataBlock, ParsedBlock, parse_block
 from .filter_block import Filter, deserialize_filter
 from .format import BLOCK_TRAILER_SIZE, FOOTER_SIZE, Footer, unwrap_block
 from .index import IndexBlock, IndexEntry
@@ -113,8 +114,14 @@ class TableReader:
         category: str,
         block_cache: "BlockCache | None" = None,
         sequential: bool = False,
-    ) -> DataBlock:
-        """Fetch one data block, through the block cache when given."""
+    ) -> ParsedBlock:
+        """Fetch one data block, through the block cache when given.
+
+        With ``options.lazy_block_decode`` the parse is deferred: the block
+        enters the cache partially decoded and point lookups decode only the
+        restart region they bisect into.  Cache accounting is unchanged
+        either way (both forms charge the serialized size).
+        """
         if block_cache is not None:
             cached = block_cache.get(self.file_number, entry.offset)
             if cached is not None:
@@ -125,8 +132,9 @@ class TableReader:
             category=category,
             sequential=sequential,
         )
-        block = DataBlock.parse(
-            unwrap_block(raw, verify_checksum=self._options.verify_checksums)
+        block = parse_block(
+            unwrap_block(raw, verify_checksum=self._options.verify_checksums),
+            lazy=self._options.lazy_block_decode,
         )
         if block_cache is not None:
             block_cache.insert(self.file_number, entry.offset, block)
@@ -192,15 +200,22 @@ class TableReader:
 
     # -- scans ----------------------------------------------------------------------
 
-    def entries_from(
+    def entry_blocks(
         self,
         seek: ComparableKey | None = None,
         *,
         category: str = CAT_SCAN,
         block_cache: "BlockCache | None" = None,
         sequential: bool = False,
-    ) -> Iterator[tuple[ComparableKey, bytes]]:
-        """Iterate entries in internal-key order starting at ``seek``.
+    ) -> Iterator[Iterable[tuple[ComparableKey, bytes]]]:
+        """Yield one ready-to-drain entry iterator per data block.
+
+        This is the block-granular form of :meth:`entries_from`: each yield
+        is a C-level iterator (a ``zip`` over the decoded entry lists) for
+        one block, produced lazily so blocks are only read when the consumer
+        reaches them.  Scan pipelines flatten these with
+        ``itertools.chain.from_iterable`` and then pay no Python-frame
+        resume per row — only one per block.
 
         Follows the index order (the logical sort), reading each valid block
         as needed.  Reads are charged by *physical contiguity*: a block that
@@ -213,9 +228,10 @@ class TableReader:
         start = 0
         if seek is not None:
             start = self.index.first_overlapping(seek[0])
+        entries = self.index.entries
         expected_offset: int | None = None
-        for i in range(start, len(self.index.entries)):
-            entry = self.index.entries[i]
+        for i in range(start, len(entries)):
+            entry = entries[i]
             contiguous = sequential or (
                 expected_offset is not None and entry.offset == expected_offset
             )
@@ -224,9 +240,28 @@ class TableReader:
                 entry, category=category, block_cache=block_cache, sequential=contiguous
             )
             if seek is not None and i == start:
-                yield from block.entries_from(seek)
+                yield block.entries_from(seek)
             else:
-                yield from block.entries()
+                yield block.entries()
+
+    def entries_from(
+        self,
+        seek: ComparableKey | None = None,
+        *,
+        category: str = CAT_SCAN,
+        block_cache: "BlockCache | None" = None,
+        sequential: bool = False,
+    ) -> Iterator[tuple[ComparableKey, bytes]]:
+        """Iterate entries in internal-key order starting at ``seek``.
+
+        A flattened view over :meth:`entry_blocks`; see there for read
+        charging.  The chain keeps per-entry iteration at C level.
+        """
+        return chain.from_iterable(
+            self.entry_blocks(
+                seek, category=category, block_cache=block_cache, sequential=sequential
+            )
+        )
 
     def get_all_user_keys(self, *, category: str) -> list[bytes]:
         """Every live user key (reads all valid blocks) — filter rebuilds."""

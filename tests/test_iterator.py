@@ -114,3 +114,58 @@ class TestDBIterator:
         it = DBIterator([[(ck(b"a", 1), b"1")]], 100)
         it.close()
         assert list(it) == []
+
+    def test_end_bound_does_not_drain_sources(self):
+        """The end bound is checked on the merged head *before* advancing,
+        so a bounded iterator pulls at most one entry at/past the bound."""
+        pulled = []
+
+        def source():
+            for i in range(100):
+                pulled.append(i)
+                yield (ck(b"k%03d" % i, 1), b"v%d" % i)
+
+        it = DBIterator([source()], 100, end=b"k010")
+        assert len(list(it)) == 10
+        # entries k000..k009 plus the bound entry k010 that triggers the stop
+        assert len(pulled) == 11
+
+
+class TestBoundedScanBlockReads:
+    """A bounded DB scan must not read data blocks past the end bound."""
+
+    N = 200
+    BOUND = 20
+
+    def _fresh(self):
+        from conftest import make_db
+        from repro.storage.fs import SimulatedFS
+
+        fs = SimulatedFS()
+        db = make_db(fs=fs)
+        for i in range(self.N):
+            db.put(b"k%04d" % i, b"v" * 40)
+        db.compact_all()
+        return db, fs
+
+    @staticmethod
+    def _reads(fs):
+        return fs.stats.random_reads + fs.stats.sequential_reads
+
+    def test_bounded_scan_stops_reading_at_bound(self):
+        db_full, fs_full = self._fresh()
+        before = self._reads(fs_full)
+        rows_full = db_full.scan()
+        full_reads = self._reads(fs_full) - before
+        assert len(rows_full) == self.N
+
+        db_bound, fs_bound = self._fresh()
+        before = self._reads(fs_bound)
+        rows = db_bound.scan(end=b"k%04d" % self.BOUND)
+        bounded_reads = self._reads(fs_bound) - before
+        # Same deterministic DB, so the bounded scan returns exactly the
+        # prefix of the full scan's rows...
+        assert rows == rows_full[: self.BOUND]
+        # ...while touching only the ~10% of blocks at or before the bound
+        # (files and blocks wholly past it are never opened).
+        assert bounded_reads < full_reads / 4

@@ -1,0 +1,86 @@
+"""Smoke tests for the hot-path perf harness (``benchmarks/perf``).
+
+These do not assert absolute performance — only that the harness runs end
+to end in quick mode, emits a well-formed report, and that ``--check``
+passes against a just-written baseline and fails against a doctored one.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+HARNESS_PATH = Path(__file__).resolve().parents[1] / "benchmarks" / "perf" / "harness.py"
+
+
+@pytest.fixture(scope="module")
+def harness():
+    """Import the harness module from its file path (benchmarks/ is not a
+    package on sys.path during tests)."""
+    spec = importlib.util.spec_from_file_location("perf_harness", HARNESS_PATH)
+    module = importlib.util.module_from_spec(spec)
+    assert spec.loader is not None
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def quick_report(harness, tmp_path_factory):
+    """One quick-mode run shared by the assertions below."""
+    out = tmp_path_factory.mktemp("bench") / "BENCH_hotpaths.json"
+    status = harness.main(["--quick", "--output", str(out)])
+    assert status == 0
+    return harness, out, json.loads(out.read_text())
+
+
+EXPECTED_PATHS = {
+    "varint_roundtrip",
+    "block_encode",
+    "block_decode",
+    "merge_visible",
+    "compaction_merge",
+    "seq_fill",
+    "point_get",
+    "scan",
+    "full_compaction",
+}
+
+
+def test_quick_run_covers_all_paths(quick_report):
+    """Quick mode measures every hot path and records sane numbers."""
+    _harness, _out, report = quick_report
+    assert set(report["paths"]) == EXPECTED_PATHS
+    for name, entry in report["paths"].items():
+        assert entry["ops_per_sec"] > 0, name
+        assert entry["ns_per_op"] > 0, name
+    # Micro paths carry an in-process reference arm.
+    for name in ("varint_roundtrip", "block_decode", "merge_visible",
+                 "compaction_merge"):
+        assert report["paths"][name]["speedup_vs_reference"] > 0
+
+
+def test_check_passes_against_own_baseline(quick_report):
+    """A report checked against itself shows no regression."""
+    harness, out, report = quick_report
+    assert harness.check_against_baseline(report, out) == 0
+
+
+def test_check_fails_on_regression(quick_report, tmp_path):
+    """Inflating a baseline speedup beyond tolerance makes --check fail."""
+    harness, _out, report = quick_report
+    doctored = json.loads(json.dumps(report))
+    entry = doctored["paths"]["varint_roundtrip"]
+    entry["speedup_vs_reference"] = entry["speedup_vs_reference"] * 10
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(json.dumps(doctored))
+    assert harness.check_against_baseline(report, baseline) == 1
+
+
+def test_check_without_baseline_is_ok(quick_report, tmp_path):
+    """Missing baseline file: nothing to compare, exit 0."""
+    harness, _out, report = quick_report
+    assert harness.check_against_baseline(report, tmp_path / "missing.json") == 0

@@ -1,0 +1,384 @@
+"""Property tests cross-checking every optimized hot path against the
+frozen reference implementations in :mod:`repro._reference`.
+
+The engine's fast paths (table-driven varints, the fused block decode, the
+fused k-way merge stack, the heap-based LPT scheduler) must be drop-in
+replacements for the straightforward originals — same results on valid
+input, same :class:`CorruptionError` classification on corrupt input.
+Hypothesis generates the inputs, including prefix-heavy key sets,
+multi-version keys (which exercise the rare trailer-overlap branch of the
+block decoder), tombstones, and arbitrary corrupt bytes.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro import _reference  # noqa: E402
+from repro.encoding import (  # noqa: E402
+    BufferWriter,
+    decode_varint,
+    decode_varint3,
+    encode_varint,
+    shared_prefix_len,
+)
+from repro.errors import CorruptionError  # noqa: E402
+from repro.keys import (  # noqa: E402
+    MAX_SEQUENCE,
+    TYPE_DELETION,
+    TYPE_VALUE,
+    comparable_key,
+    comparable_to_internal,
+    make_internal_key,
+)
+from repro.compaction.base import merge_keep_newest, merge_live  # noqa: E402
+from repro.compaction.parallel import lpt_makespan  # noqa: E402
+from repro.core.iterator import visible_entries  # noqa: E402
+from repro.core.merge import merge_entries, merge_visible  # noqa: E402
+from repro.sstable.block import DataBlock, LazyDataBlock  # noqa: E402
+from repro.sstable.block_builder import BlockBuilder  # noqa: E402
+
+# ---------------------------------------------------------------------- varint
+
+varint_values = st.one_of(
+    st.integers(0, 0x7F),
+    st.integers(0x80, 0x3FFF),
+    st.integers(0x4000, 0x1FFFFF),
+    st.integers(0x200000, 0xFFFFFFF),
+    st.integers(0x10000000, (1 << 64) - 1),
+)
+
+
+@given(varint_values)
+def test_encode_varint_matches_reference(value):
+    """Table/tuple-driven encoder is byte-identical to the shift loop."""
+    assert encode_varint(value) == _reference.encode_varint(value)
+
+
+@given(varint_values, st.binary(max_size=4))
+def test_decode_varint_roundtrip(value, tail):
+    """Decoding an encoded varint (with trailing junk) recovers the value."""
+    buf = encode_varint(value) + tail
+    assert decode_varint(buf, 0) == (value, len(buf) - len(tail))
+
+
+@given(st.binary(max_size=16), st.integers(0, 8))
+def test_decode_varint_matches_reference_on_arbitrary_bytes(buf, offset):
+    """Fast decoder and reference agree on every input: same value/offset on
+    success, :class:`CorruptionError` (and nothing else) on failure."""
+    try:
+        expected = _reference.decode_varint(buf, offset)
+    except CorruptionError:
+        with pytest.raises(CorruptionError):
+            decode_varint(buf, offset)
+    else:
+        assert decode_varint(buf, offset) == expected
+
+
+@given(st.binary(max_size=24), st.integers(0, 4))
+def test_decode_varint3_equivalent_to_three_decodes(buf, offset):
+    """Batched 3-varint decode behaves like three sequential decodes."""
+    try:
+        a, pos = _reference.decode_varint(buf, offset)
+        b, pos = _reference.decode_varint(buf, pos)
+        c, pos = _reference.decode_varint(buf, pos)
+        expected = (a, b, c, pos)
+    except CorruptionError:
+        with pytest.raises(CorruptionError):
+            decode_varint3(buf, offset)
+    else:
+        assert decode_varint3(buf, offset) == expected
+
+
+@given(st.binary(max_size=24), st.binary(max_size=24))
+def test_shared_prefix_len_matches_reference(a, b):
+    """XOR-based common-prefix length equals the byte-at-a-time scan."""
+    assert shared_prefix_len(a, b) == _reference.shared_prefix_len(a, b)
+
+
+@given(st.binary(min_size=1, max_size=12), st.integers(2, 6))
+def test_shared_prefix_len_on_forced_prefixes(stem, repeat):
+    """Inputs sharing a long constructed prefix are measured exactly."""
+    a = stem * repeat
+    b = stem * repeat + b"x"
+    assert shared_prefix_len(a, b) == len(a)
+    assert shared_prefix_len(a, a) == len(a)
+
+
+@given(
+    st.lists(
+        st.one_of(
+            st.tuples(st.just("varint"), varint_values),
+            st.tuples(st.just("fixed32"), st.integers(0, 0xFFFFFFFF)),
+            st.tuples(st.just("fixed64"), st.integers(0, (1 << 64) - 1)),
+            st.tuples(st.just("raw"), st.binary(max_size=20)),
+            st.tuples(st.just("lp"), st.binary(max_size=200)),
+        ),
+        max_size=20,
+    )
+)
+def test_buffer_writer_matches_field_concatenation(ops):
+    """:class:`BufferWriter` output equals naive per-field concatenation."""
+    writer = BufferWriter()
+    expected = bytearray()
+    for kind, arg in ops:
+        if kind == "varint":
+            writer.varint(arg)
+            expected += _reference.encode_varint(arg)
+        elif kind == "fixed32":
+            writer.fixed32(arg)
+            expected += struct.pack("<I", arg)
+        elif kind == "fixed64":
+            writer.fixed64(arg)
+            expected += struct.pack("<Q", arg)
+        elif kind == "raw":
+            writer.append(arg)
+            expected += arg
+        else:
+            writer.length_prefixed(arg)
+            expected += _reference.encode_varint(len(arg)) + arg
+    assert writer.getvalue() == bytes(expected)
+    assert len(writer) == len(expected)
+    writer.clear()
+    assert writer.getvalue() == b""
+
+
+# ----------------------------------------------------------------- data blocks
+
+
+@st.composite
+def internal_entries(draw):
+    """Sorted, unique internal-key entries with prefix-heavy user keys and
+    occasional multi-version user keys (same user key, several sequences) —
+    the shape that exercises the decoder's rare trailer-overlap branch."""
+    user_keys = draw(
+        st.lists(
+            st.binary(min_size=0, max_size=24).map(lambda b: b"k" + b),
+            min_size=1,
+            max_size=24,
+            unique=True,
+        )
+    )
+    entries = []
+    seq = draw(st.integers(1, MAX_SEQUENCE - 40))
+    for user_key in sorted(user_keys):
+        versions = draw(st.integers(1, 3))
+        for v in range(versions):
+            value_type = draw(st.sampled_from([TYPE_VALUE, TYPE_DELETION]))
+            value = draw(st.binary(max_size=40))
+            # Newer (higher-sequence) versions sort first within a user key.
+            entries.append(
+                (make_internal_key(user_key, seq + versions - v, value_type), value)
+            )
+    return entries
+
+
+@given(internal_entries(), st.integers(1, 5))
+@settings(deadline=None)
+def test_block_builder_matches_reference_builder(entries, restart_interval):
+    """Optimized builder output is byte-identical to the reference builder."""
+    fast = BlockBuilder(restart_interval=restart_interval)
+    ref = _reference.ReferenceBlockBuilder(restart_interval=restart_interval)
+    for key, value in entries:
+        fast.add(key, value)
+        ref.add(key, value)
+    assert fast.finish() == ref.finish()
+
+
+@given(internal_entries(), st.integers(1, 5))
+@settings(deadline=None)
+def test_block_decode_matches_reference(entries, restart_interval):
+    """Fused entry decode recovers exactly what the reference decode does."""
+    builder = BlockBuilder(restart_interval=restart_interval)
+    for key, value in entries:
+        builder.add(key, value)
+    payload = builder.finish()
+    block = DataBlock.parse(payload)
+    ref_keys, ref_values = _reference.parse_block(payload)
+    assert block.keys == ref_keys
+    assert block.values == ref_values
+
+
+@given(internal_entries(), st.integers(1, 5), st.binary(max_size=26))
+@settings(deadline=None)
+def test_lazy_block_get_matches_eager(entries, restart_interval, probe):
+    """Lazy region-decode lookups agree with eager whole-block lookups,
+    for present and absent keys alike, at several snapshots."""
+    builder = BlockBuilder(restart_interval=restart_interval)
+    for key, value in entries:
+        builder.add(key, value)
+    payload = builder.finish()
+    eager = DataBlock.parse(payload)
+    user_keys = {key[:-8] for key, _ in entries}
+    for snapshot in (MAX_SEQUENCE, MAX_SEQUENCE // 2, 1):
+        lazy = LazyDataBlock(payload)
+        for user_key in sorted(user_keys) + [probe, b"", b"\xff" * 30]:
+            assert lazy.get(user_key, snapshot) == eager.get(user_key, snapshot)
+    # A materialized lazy block serves the same entry lists.
+    lazy = LazyDataBlock(payload)
+    assert list(lazy.entries()) == list(eager.entries())
+    assert lazy.user_keys() == eager.user_keys()
+    assert lazy.memory_bytes() == eager.memory_bytes()
+
+
+@given(st.binary(max_size=80))
+@settings(deadline=None)
+def test_block_decode_corruption_matches_reference(payload):
+    """On arbitrary bytes the fast decoder fails (with CorruptionError and
+    nothing else) whenever the reference fails, and matches its output
+    whenever the reference succeeds."""
+    try:
+        expected = _reference.parse_block(payload)
+    except Exception:
+        # Reference failure (however it fails) must be a clean
+        # CorruptionError in the optimized decoder.
+        with pytest.raises(CorruptionError):
+            DataBlock.parse(payload)
+    else:
+        block = DataBlock.parse(payload)
+        assert (block.keys, block.values) == expected
+
+
+# ----------------------------------------------------------------- merge stack
+
+
+@st.composite
+def entry_sources(draw, max_sources=6):
+    """Sorted entry streams with globally-unique comparable keys (sequence
+    numbers are unique engine-wide, as in the real LSM)."""
+    num_sources = draw(st.integers(0, max_sources))
+    user_keys = draw(
+        st.lists(st.binary(max_size=6), min_size=0, max_size=30, unique=True)
+    )
+    seq = 1
+    flat = []
+    for user_key in user_keys:
+        for _ in range(draw(st.integers(1, 3))):
+            value_type = draw(st.sampled_from([TYPE_VALUE, TYPE_DELETION]))
+            flat.append((comparable_key(user_key, seq, value_type), b"v%d" % seq))
+            seq += 1
+    sources = [[] for _ in range(num_sources)]
+    for entry in flat:
+        if num_sources:
+            sources[draw(st.integers(0, num_sources - 1))].append(entry)
+    return [sorted(source) for source in sources], seq
+
+
+@given(entry_sources())
+@settings(deadline=None)
+def test_merge_entries_matches_heapq_merge(sources_seq):
+    """Fused 1/2/k-way merge equals ``heapq.merge`` on the same streams."""
+    sources, _ = sources_seq
+    expected = list(_reference.merge_sorted([list(s) for s in sources])) if sources else []
+    assert list(merge_entries([iter(s) for s in sources])) == expected
+
+
+@given(entry_sources(), st.integers(0, 40))
+@settings(deadline=None)
+def test_merge_visible_matches_reference_stack(sources_seq, snapshot):
+    """Fused merge+visibility equals heapq.merge + visible_entries."""
+    sources, max_seq = sources_seq
+    snapshot = min(snapshot, max_seq)
+    expected = list(
+        _reference.merge_visible([list(s) for s in sources], snapshot)
+    )
+    assert list(merge_visible([iter(s) for s in sources], snapshot)) == expected
+
+
+@given(entry_sources(), st.integers(0, 40), st.binary(max_size=4))
+@settings(deadline=None)
+def test_merge_visible_end_bound_matches_reference(sources_seq, snapshot, end):
+    """The early-stopping end bound yields the same rows as the reference
+    post-filtering stack."""
+    sources, max_seq = sources_seq
+    snapshot = min(snapshot, max_seq)
+    expected = list(
+        _reference.merge_visible([list(s) for s in sources], snapshot, end)
+    )
+    assert list(merge_visible([iter(s) for s in sources], snapshot, end)) == expected
+
+
+@given(entry_sources(), st.integers(0, 40))
+@settings(deadline=None)
+def test_visible_entries_matches_reference(sources_seq, snapshot):
+    """The kept ``visible_entries`` wrapper equals the reference pass."""
+    sources, max_seq = sources_seq
+    snapshot = min(snapshot, max_seq)
+    merged = list(_reference.merge_sorted([list(s) for s in sources])) if sources else []
+    assert list(visible_entries(iter(merged), snapshot)) == list(
+        _reference.visible_entries(iter(merged), snapshot)
+    )
+
+
+boundary_lists = st.one_of(
+    st.just([]),
+    st.lists(st.integers(0, 50), min_size=1, max_size=3).map(sorted),
+)
+
+
+@given(entry_sources(), boundary_lists)
+@settings(deadline=None)
+def test_merge_keep_newest_matches_reference(sources_seq, boundaries):
+    """Parent-side compaction merge (fast path and keeper path) equals the
+    reference, with and without live-snapshot boundaries."""
+    sources, _ = sources_seq
+    if not sources:
+        sources = [[]]
+    expected = list(
+        _reference.merge_keep_newest([iter(list(s)) for s in sources], boundaries)
+    )
+    assert (
+        list(merge_keep_newest([iter(s) for s in sources], boundaries)) == expected
+    )
+
+
+@given(entry_sources(), boundary_lists, st.booleans())
+@settings(deadline=None)
+def test_merge_live_matches_reference(sources_seq, boundaries, droppable):
+    """Live compaction merge (tombstone dropping included) equals the
+    reference for both fast path and keeper path."""
+    sources, _ = sources_seq
+    if not sources:
+        sources = [[]]
+
+    def can_drop(user_key: bytes) -> bool:
+        return droppable or user_key.endswith(b"\x01")
+
+    expected = list(
+        _reference.merge_live([iter(list(s)) for s in sources], can_drop, boundaries)
+    )
+    assert (
+        list(merge_live([iter(s) for s in sources], can_drop, boundaries)) == expected
+    )
+
+
+def test_merge_roundtrip_internal_keys():
+    """Internal keys re-serialized by merge_live round-trip comparably."""
+    entries = [
+        (comparable_key(b"a", 9, TYPE_VALUE), b"x"),
+        (comparable_key(b"a", 5, TYPE_VALUE), b"y"),
+        (comparable_key(b"b", 7, TYPE_DELETION), b""),
+    ]
+    rows = list(merge_live([iter(entries)], lambda _k: False))
+    assert rows[0][0] == comparable_to_internal(entries[0][0])
+    assert rows[1] == (comparable_to_internal(entries[2][0]), b"", True)
+
+
+# ------------------------------------------------------------------- scheduler
+
+
+@given(
+    st.lists(st.floats(0.0, 1e6, allow_nan=False), max_size=60),
+    st.integers(1, 12),
+)
+def test_lpt_makespan_matches_linear_scan(durations, workers):
+    """Heap-based LPT is bit-identical to the reference linear-scan LPT."""
+    assert lpt_makespan(durations, workers) == _reference.lpt_makespan(
+        durations, workers
+    )
