@@ -1,0 +1,194 @@
+"""Concurrent write-pipeline benchmark.
+
+Measures aggregate wall-clock throughput of the concurrent pipeline
+(background flush/compaction + group commit + real parallel sub-tasks,
+DESIGN.md §7) against the default synchronous engine, at 1 and 4 client
+threads, and writes ``BENCH_concurrency.json`` at the repo root.
+
+The engine's compute is pure Python, so thread overlap cannot speed up
+*CPU*; what the pipeline overlaps is device time.  The benchmark therefore
+runs on a real-file store in ``realtime`` mode — every second charged to
+the analytic device model is also slept, with the GIL released — which
+honestly emulates an I/O-bound device: the synchronous engine pays flush
+and compaction device-time inline under the engine lock, while the
+pipeline pays it on the background worker, overlapped with the foreground.
+A nonzero per-append cost makes group commit's WAL coalescing visible the
+same way.
+
+Usage::
+
+    python benchmarks/perf/concurrency.py            # full run, refresh JSON
+    python benchmarks/perf/concurrency.py --quick    # CI smoke sizes
+    python benchmarks/perf/concurrency.py --check    # exit 1 unless the
+                                                     # 4-thread speedup meets
+                                                     # the CI floor
+
+The full run records the headline ``speedup_4t`` (concurrent vs sync at 4
+client threads); ``--check`` gates on a deliberately generous floor so CI
+only fails on a real pipeline regression, not shared-runner noise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[2]
+if str(ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(ROOT / "src"))
+
+BASELINE_PATH = ROOT / "BENCH_concurrency.json"
+#: Full-run target (the acceptance bar) and the generous CI gate.
+TARGET_SPEEDUP_4T = 1.5
+CHECK_MIN_SPEEDUP_4T = 1.15
+THREADS = 4
+
+
+def _device():
+    """A deliberately slow, op-cost-heavy SSD profile: device time has to
+    dominate Python time for overlap to be measurable, and per-append cost
+    is what group commit amortizes."""
+    from repro.storage.device_model import DeviceModel
+
+    return DeviceModel(
+        seq_read_bandwidth=60e6,
+        seq_write_bandwidth=25e6,
+        random_read_latency=300e-6,
+        write_op_cost=200e-6,
+        file_open_cost=200e-6,
+        file_delete_cost=200e-6,
+    )
+
+
+def _options(concurrent: bool):
+    from repro.options import Options
+
+    options = Options(
+        block_size=1024,
+        sstable_size=8 * 1024,
+        memtable_size=8 * 1024,
+        max_levels=6,
+        compaction_workers=4,
+    )
+    if concurrent:
+        options = options.concurrent_pipeline()
+    return options
+
+
+def _run_scenario(name: str, *, concurrent: bool, threads: int, num_ops: int) -> dict:
+    """One (mode, client-thread-count) cell: write-heavy YCSB on a fresh
+    real-file DB, returning aggregate wall-clock throughput."""
+    from repro.core.db import DB
+    from repro.storage.fs import LocalFS
+    from repro.ycsb.runner import run_workload_concurrent
+    from repro.ycsb.workloads import WorkloadSpec
+
+    spec = WorkloadSpec(
+        name=name, read_ratio=0.1, write_ratio=0.9, scan_ratio=0.0,
+        write_mode="insert", zipf=None,
+    )
+    with tempfile.TemporaryDirectory(prefix=f"bench-{name}-") as root:
+        fs = LocalFS(root, device=_device(), realtime=1.0)
+        db = DB(fs, _options(concurrent), seed=7)
+        start = time.perf_counter()
+        result = run_workload_concurrent(
+            db, spec, num_ops, num_keys=num_ops, threads=threads,
+            value_size=100, seed=11,
+        )
+        elapsed = time.perf_counter() - start
+        stats = db.stats
+        entry = {
+            "mode": "concurrent" if concurrent else "sync",
+            "client_threads": threads,
+            "ops": result.ops,
+            "wall_time_s": round(elapsed, 3),
+            "ops_per_sec": round(result.ops / elapsed, 1),
+            "stall_events": stats.stall_events,
+            "stall_stops": stats.stall_stops,
+            "stall_time_s": round(stats.stall_time_s, 3),
+            "flushes": stats.flush_count,
+        }
+        db.close()
+    print(
+        f"  {name:<14} {entry['ops_per_sec']:>10,.0f} ops/s"
+        f"  ({entry['wall_time_s']:.2f}s wall, {entry['flushes']} flushes,"
+        f" {entry['stall_events']} stalls)"
+    )
+    return entry
+
+
+def run_suite(quick: bool) -> dict:
+    """All four cells; returns the JSON report."""
+    num_ops = 1200 if quick else 4000
+    print(f"concurrency benchmark ({'quick' if quick else 'full'} mode, "
+          f"{num_ops} ops/scenario, {THREADS} threads)")
+    scenarios = {
+        "sync_1t": _run_scenario("sync_1t", concurrent=False, threads=1, num_ops=num_ops),
+        "concurrent_1t": _run_scenario(
+            "concurrent_1t", concurrent=True, threads=1, num_ops=num_ops
+        ),
+        "sync_4t": _run_scenario(
+            "sync_4t", concurrent=False, threads=THREADS, num_ops=num_ops
+        ),
+        "concurrent_4t": _run_scenario(
+            "concurrent_4t", concurrent=True, threads=THREADS, num_ops=num_ops
+        ),
+    }
+    speedup_4t = round(
+        scenarios["concurrent_4t"]["ops_per_sec"] / scenarios["sync_4t"]["ops_per_sec"],
+        2,
+    )
+    speedup_1t = round(
+        scenarios["concurrent_1t"]["ops_per_sec"] / scenarios["sync_1t"]["ops_per_sec"],
+        2,
+    )
+    print(f"\n  speedup at {THREADS} threads: {speedup_4t}x  (1 thread: {speedup_1t}x)")
+    return {
+        "meta": {
+            "python": platform.python_version(),
+            "quick": quick,
+            "threads": THREADS,
+            "ops_per_scenario": num_ops,
+            "target_speedup_4t": TARGET_SPEEDUP_4T,
+            "check_min_speedup_4t": CHECK_MIN_SPEEDUP_4T,
+        },
+        "scenarios": scenarios,
+        "speedup_1t": speedup_1t,
+        "speedup_4t": speedup_4t,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the suite; write the JSON report or gate on the CI floor."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI smoke sizes")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="gate on the minimum 4-thread speedup instead of writing JSON",
+    )
+    parser.add_argument("--output", type=Path, default=BASELINE_PATH, help="report path")
+    args = parser.parse_args(argv)
+
+    report = run_suite(args.quick)
+    if args.check:
+        if report["speedup_4t"] < CHECK_MIN_SPEEDUP_4T:
+            print(
+                f"\nFAIL: concurrent pipeline speedup {report['speedup_4t']}x "
+                f"at {THREADS} threads is below the {CHECK_MIN_SPEEDUP_4T}x floor"
+            )
+            return 1
+        print(f"\nOK: speedup {report['speedup_4t']}x >= {CHECK_MIN_SPEEDUP_4T}x floor")
+        return 0
+    args.output.write_text(json.dumps(report, indent=1, sort_keys=True) + "\n")
+    print(f"\nwrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -25,6 +25,7 @@ block_decode       DataBlock.parse of the built blocks
 merge_visible      fused k-way merge + visibility (the read/scan inner loop)
 compaction_merge   fused merge_live (the compaction inner loop)
 point_get          DB.get against a compacted simulated DB
+multi_get          batched DB.multi_get vs the per-key get loop
 seq_fill           DB.put of a fresh sequential load (WAL + flush + compaction)
 scan               full-range DB iterator drain
 full_compaction    DB.compact_all() on a freshly loaded tree
@@ -375,6 +376,28 @@ def bench_db_paths(suite: Suite) -> None:
         return len(lookup_keys)
 
     suite.measure("point_get", point_get, "get")
+
+    # Batched lookup vs the naive per-key loop it replaced (same keys, same
+    # tree): the win is resolving snapshot/lock/table-cache once per batch.
+    batch_size = 64
+    batches = [
+        lookup_keys[start : start + batch_size]
+        for start in range(0, len(lookup_keys), batch_size)
+    ]
+
+    def multi_get_batched():
+        for batch in batches:
+            db.multi_get(batch)
+        return len(lookup_keys)
+
+    def multi_get_naive():
+        for batch in batches:
+            {key: db.get(key) for key in batch}
+        return len(lookup_keys)
+
+    suite.measure(
+        "multi_get", multi_get_batched, "get", reference=multi_get_naive
+    )
 
     def scan():
         count = 0

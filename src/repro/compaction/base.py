@@ -9,6 +9,7 @@ coordinator.
 from __future__ import annotations
 
 import struct
+import threading
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, Protocol
 
@@ -79,6 +80,12 @@ class CompactionResult:
     #: Sub-task mix for selective compactions.
     table_subtasks: int = 0
     block_subtasks: int = 0
+    #: Guards result mutation when sub-tasks execute on a real thread pool
+    #: (``Options.real_parallel_compaction``); uncontended — and therefore
+    #: free — on the deterministic sequential path.
+    apply_lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
 
 def table_entry_stream(

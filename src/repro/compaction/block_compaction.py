@@ -270,13 +270,17 @@ def apply_block_update(
 
     A file left with zero live entries (every key tombstoned away) is
     deleted rather than updated — an empty index has no bounds to keep.
+
+    Holds the result's ``apply_lock``: with real parallel sub-task
+    execution, several sub-tasks fold their outcomes in concurrently.
     """
-    if new_meta.num_entries == 0 or new_meta.smallest is None:
-        result.edit.deleted_files.append((child_level, old_meta.file_number))
-        result.obsolete_files.append(old_meta)
-    else:
-        result.edit.updated_files.append((child_level, new_meta))
-        result.output_files += 1
+    with result.apply_lock:
+        if new_meta.num_entries == 0 or new_meta.smallest is None:
+            result.edit.deleted_files.append((child_level, old_meta.file_number))
+            result.obsolete_files.append(old_meta)
+        else:
+            result.edit.updated_files.append((child_level, new_meta))
+            result.output_files += 1
 
 
 def partition_parent_slices(

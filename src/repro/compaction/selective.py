@@ -115,11 +115,12 @@ def _table_rewrite_subtask(
         env.snapshot_boundaries(),
     )
     outputs = build_output_tables(env, stream, child_level)
-    for meta in outputs:
-        result.edit.new_files.append((child_level, meta))
-    result.edit.deleted_files.append((child_level, child_meta.file_number))
-    result.obsolete_files.append(child_meta)
-    result.output_files += len(outputs)
+    with result.apply_lock:
+        for meta in outputs:
+            result.edit.new_files.append((child_level, meta))
+        result.edit.deleted_files.append((child_level, child_meta.file_number))
+        result.obsolete_files.append(child_meta)
+        result.output_files += len(outputs)
     env.fs.stats.charge_time(
         env.fs.device.merge_cpu_cost(child_meta.file_size), CAT_COMPACTION
     )

@@ -5,17 +5,33 @@ the paper's optimizations are chosen by :class:`~repro.options.Options`
 (see :mod:`repro.baselines.presets` for the LevelDB / RocksDB / BlockDB
 configurations; L2SM subclasses this DB in :mod:`repro.baselines.l2sm`).
 
-Concurrency model: operations execute synchronously on the calling thread —
-a write that fills the memtable performs the flush and any due compactions
-inline before returning.  This keeps runs deterministic; *time* parallelism
-(Parallel Merging, concurrent dirty-block reads) is modelled by the device's
-makespan accounting.  See DESIGN.md §5.
+Concurrency model — two modes, selected by :class:`~repro.options.Options`
+(DESIGN.md §7):
+
+* **Synchronous (default)**: operations execute on the calling thread — a
+  write that fills the memtable performs the flush and any due compactions
+  inline before returning.  This keeps runs deterministic and is the mode
+  every paper figure is generated in; *time* parallelism (Parallel
+  Merging, concurrent dirty-block reads) is modelled by the device's
+  makespan accounting.
+* **Concurrent pipeline** (``background_compaction`` and friends): writes
+  freeze a full memtable and hand flushing plus the compaction cascade to
+  a background worker (:mod:`repro.core.scheduler`); the frozen immutable
+  memtable stays readable throughout.  L0 pressure throttles writers via
+  the slowdown/stop triggers instead of inlining work, ``group_commit``
+  coalesces concurrent writers into one WAL append, and
+  ``real_parallel_compaction`` runs disjoint compaction sub-tasks on a
+  thread pool.  Throughput mode: simulated metrics are approximate here.
 """
 
 from __future__ import annotations
 
 import threading
-from itertools import chain
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import nullcontext
+from itertools import chain, islice
 from typing import Iterable, Iterator
 
 from ..cache.block_cache import BlockCache
@@ -46,6 +62,7 @@ from ..storage.fs import FileSystem, SimulatedFS
 from ..storage.io_stats import CAT_COMPACTION, CAT_FLUSH, CAT_GET, CAT_SCAN
 from .flush import flush_memtable
 from .iterator import DBIterator, EntryStream
+from .scheduler import BackgroundScheduler
 from .snapshot import Snapshot, SnapshotRegistry
 from .manifest import (
     ManifestWriter,
@@ -59,6 +76,39 @@ from .write_batch import WriteBatch
 
 def _log_name(number: int) -> str:
     return f"{number:06d}.log"
+
+
+class _SchedulerPause:
+    """Context manager form of scheduler pause/resume (see
+    ``DB._background_paused``)."""
+
+    __slots__ = ("_scheduler",)
+
+    def __init__(self, scheduler: BackgroundScheduler):
+        self._scheduler = scheduler
+
+    def __enter__(self) -> "_SchedulerPause":
+        self._scheduler.pause()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._scheduler.resume()
+
+
+_NULL_CONTEXT = nullcontext()
+
+
+class _GroupWriter:
+    """One queued batch in the group-commit writer queue (LevelDB's
+    ``Writer``): the queue head becomes the leader and commits a whole run
+    of queued batches in a single WAL append + one lock acquisition."""
+
+    __slots__ = ("batch", "done", "error")
+
+    def __init__(self, batch: WriteBatch):
+        self.batch = batch
+        self.done = False
+        self.error: BaseException | None = None
 
 
 class DB:
@@ -94,6 +144,13 @@ class DB:
         # the DB (the paper's 16-thread clients); all structural mutation
         # happens under it.  Reentrant: compactions run inside writes.
         self._lock = threading.RLock()
+        # Signalled when a background flush commits (immutable drained) and
+        # when a background compaction shrinks L0 (stop-trigger waiters).
+        # Condition.wait on an RLock releases every recursion level, so
+        # waiting from inside the write path is safe.
+        self._flush_cv = threading.Condition(self._lock)
+        self._l0_cv = threading.Condition(self._lock)
+        self._fnum_lock = threading.Lock()
 
         self._seed = seed
         self._memtable_counter = 0
@@ -104,7 +161,24 @@ class DB:
         self._log_number = 0
         self._closed = False
 
+        # Concurrent-pipeline state (all None/inert in synchronous mode).
+        self._pending_log: str | None = None  # frozen memtable's WAL, freed on commit
+        self._last_flush_meta: FileMetadata | None = None
+        self._writers: deque[_GroupWriter] = deque()
+        self._writers_cv = threading.Condition()
+        self._subtask_executor: ThreadPoolExecutor | None = None
+        if self.options.real_parallel_compaction:
+            self._subtask_executor = ThreadPoolExecutor(
+                max_workers=max(1, self.options.compaction_workers),
+                thread_name_prefix="repro-subtask",
+            )
+
         self._recover()
+
+        # Started last: the worker must only ever see a fully-recovered DB.
+        self._scheduler: BackgroundScheduler | None = None
+        if self.options.background_compaction:
+            self._scheduler = BackgroundScheduler(self._background_work)
 
     # ------------------------------------------------------------------ setup
 
@@ -113,9 +187,12 @@ class DB:
         return MemTable(seed=self._seed + self._memtable_counter)
 
     def new_file_number(self) -> int:
-        number = self._next_file_number
-        self._next_file_number += 1
-        return number
+        # Own lock (not the engine lock): background flush/compaction build
+        # output files with the engine lock released.
+        with self._fnum_lock:
+            number = self._next_file_number
+            self._next_file_number += 1
+            return number
 
     def _recover(self) -> None:
         """Rebuild state from CURRENT/manifest/WAL, or initialize fresh."""
@@ -123,7 +200,7 @@ class DB:
         self._immutable: MemTable | None = None
 
         current = read_current(self.fs)
-        old_log: str | None = None
+        old_logs: list[str] = []
         if current is not None:
             for edit in replay_manifest(self.fs, current):
                 self.version.apply(edit)
@@ -135,15 +212,32 @@ class DB:
                     self._log_number = edit.log_number
                 for level, key in edit.compact_pointers:
                     self.picker.compact_pointer[level] = key
-            if self._log_number and self.fs.exists(_log_name(self._log_number)):
-                old_log = _log_name(self._log_number)
-                for payload in read_wal(self.fs, old_log):
-                    batch, base_sequence = WriteBatch.deserialize(payload)
-                    sequence = base_sequence
-                    for value_type, key, value in batch:
-                        self._memtable.add(sequence, value_type, key, value)
-                        sequence += 1
-                    self._sequence = max(self._sequence, sequence - 1)
+            # Replay EVERY log at or past the manifest's log number, oldest
+            # first: a crash between a WAL rotation and the flush landing
+            # leaves two live logs (the frozen memtable's and the active
+            # one), and both must replay or acknowledged writes in the
+            # newer log would silently vanish.
+            if self._log_number:
+                live_numbers: list[int] = []
+                for name in self.fs.list_dir():
+                    if not name.endswith(".log"):
+                        continue
+                    try:
+                        number = int(name[:-4])
+                    except ValueError:
+                        continue
+                    if number >= self._log_number:
+                        live_numbers.append(number)
+                for number in sorted(live_numbers):
+                    log_name = _log_name(number)
+                    old_logs.append(log_name)
+                    for payload in read_wal(self.fs, log_name):
+                        batch, base_sequence = WriteBatch.deserialize(payload)
+                        sequence = base_sequence
+                        for value_type, key, value in batch:
+                            self._memtable.add(sequence, value_type, key, value)
+                            sequence += 1
+                        self._sequence = max(self._sequence, sequence - 1)
 
         # Entries replayed from the old WAL go straight to an L0 table (as
         # LevelDB does during recovery) so the old log can be dropped and a
@@ -179,8 +273,9 @@ class DB:
         snapshot.next_file_number = self._next_file_number
         self._manifest.log_edit(snapshot)
         set_current(self.fs, manifest_number)
-        if old_log is not None and self.fs.exists(old_log):
-            self.fs.delete_file(old_log)
+        for old_log in old_logs:
+            if self.fs.exists(old_log):
+                self.fs.delete_file(old_log)
 
     # ------------------------------------------------------------------ helpers
 
@@ -244,12 +339,22 @@ class DB:
         self._check_open()
         if len(batch) == 0:
             return
-        with self._lock:
-            self._write_locked(batch)
+        if self.options.group_commit:
+            self._write_grouped(batch)
+        elif self._scheduler is not None:
+            self._write_concurrent(batch)
+        else:
+            with self._lock:
+                self._write_locked(batch)
 
     def _write_locked(self, batch: WriteBatch) -> None:
         if len(self.version.files_at(0)) >= self.options.level0_slowdown_writes_trigger:
             self.stats.stall_events += 1
+        self._apply_batch_locked(batch)
+        self._maybe_flush()
+
+    def _apply_batch_locked(self, batch: WriteBatch) -> None:
+        """The atomic core of a write: one WAL record, then memtable adds."""
         base_sequence = self._sequence + 1
         if self._wal is not None:
             self._wal.add_record(batch.serialize(base_sequence))
@@ -263,22 +368,179 @@ class DB:
                 self.stats.user_deletes += 1
         self._sequence = sequence - 1
         self.stats.user_bytes_written += batch.byte_size()
-        self._maybe_flush()
+
+    def _write_concurrent(self, batch: WriteBatch) -> None:
+        """Concurrent-pipeline write: throttle on L0 pressure, apply, and
+        freeze (never flush) — the background worker does the heavy work."""
+        self._scheduler.raise_if_failed()
+        self._throttle_l0()
+        with self._lock:
+            self._apply_batch_locked(batch)
+            self._maybe_freeze_locked()
+
+    def _write_grouped(self, batch: WriteBatch) -> None:
+        """Group commit: concurrent writers queue up; the queue head leads,
+        committing a whole run of batches in one WAL append and one
+        lock-held memtable pass, then wakes the followers (LevelDB's
+        ``BuildBatchGroup``).  Each batch keeps its own WAL record — only
+        the ``fs.append`` (the expensive device op) is shared."""
+        writer = _GroupWriter(batch)
+        cv = self._writers_cv
+        with cv:
+            self._writers.append(writer)
+            while not writer.done and self._writers[0] is not writer:
+                cv.wait()
+            if writer.done:
+                if writer.error is not None:
+                    raise writer.error
+                return
+            # Leader: adopt queued followers up to the byte cap.  The queue
+            # is left intact until completion so new arrivals keep waiting.
+            group = [writer]
+            size = batch.byte_size()
+            for follower in islice(self._writers, 1, None):
+                size += follower.batch.byte_size()
+                if size > self.options.group_commit_max_bytes:
+                    break
+                group.append(follower)
+        error: BaseException | None = None
+        try:
+            if self._scheduler is not None:
+                self._scheduler.raise_if_failed()
+                self._throttle_l0()
+            with self._lock:
+                self._apply_group_locked(group)
+                if self._scheduler is not None:
+                    self._maybe_freeze_locked()
+                else:
+                    self._maybe_flush()
+        except BaseException as exc:  # noqa: BLE001 - delivered to every member
+            error = exc
+        with cv:
+            for member in group:
+                popped = self._writers.popleft()
+                assert popped is member
+                member.error = error
+                member.done = True
+            cv.notify_all()
+        if error is not None:
+            raise error
+
+    def _apply_group_locked(self, group: list[_GroupWriter]) -> None:
+        payloads: list[bytes] = []
+        sequence = self._sequence + 1
+        for member in group:
+            payloads.append(member.batch.serialize(sequence))
+            sequence += len(member.batch)
+        if self._wal is not None:
+            self._wal.add_records(payloads)
+        sequence = self._sequence + 1
+        stats = self.stats
+        for member in group:
+            for value_type, key, value in member.batch:
+                self._memtable.add(sequence, value_type, key, value)
+                sequence += 1
+                if value_type == 1:
+                    stats.user_writes += 1
+                else:
+                    stats.user_deletes += 1
+            stats.user_bytes_written += member.batch.byte_size()
+        self._sequence = sequence - 1
+
+    def _throttle_l0(self) -> None:
+        """Feed L0 pressure back into the write path (MakeRoomForWrite):
+        past the slowdown trigger each write sleeps briefly; past the stop
+        trigger it blocks until the background worker drains L0 (bounded by
+        ``level0_stop_max_wait_s`` so writes never error, merely slow)."""
+        opts = self.options
+        if len(self.version.files_at(0)) < opts.level0_slowdown_writes_trigger:
+            return
+        stats = self.stats
+        self._scheduler.wake()
+        if len(self.version.files_at(0)) >= opts.level0_stop_writes_trigger:
+            start = time.monotonic()
+            deadline = start + opts.level0_stop_max_wait_s
+            with self._lock:
+                while (
+                    len(self.version.files_at(0)) >= opts.level0_stop_writes_trigger
+                    and self._scheduler.error is None
+                    and not self._closed
+                    and time.monotonic() < deadline
+                ):
+                    self._l0_cv.wait(timeout=0.05)
+            stats.stall_events += 1
+            stats.stall_stops += 1
+            stats.stall_time_s += time.monotonic() - start
+        else:
+            sleep = opts.level0_slowdown_sleep_s
+            if sleep > 0.0:
+                time.sleep(sleep)
+            stats.stall_events += 1
+            stats.stall_time_s += sleep
 
     def _maybe_flush(self) -> None:
         if self._memtable.approximate_memory_usage() >= self.options.memtable_size:
             self.flush()
             self._run_due_compactions()
 
+    def _maybe_freeze_locked(self) -> None:
+        """Concurrent-pipeline memtable rollover: freeze a full memtable and
+        wake the worker.  If the previous freeze is still being flushed,
+        wait for it (writers have outrun the flusher) rather than stacking
+        immutables."""
+        if self._memtable.approximate_memory_usage() < self.options.memtable_size:
+            return
+        if self._immutable is not None:
+            self._scheduler.wake()
+            start = time.monotonic()
+            while (
+                self._immutable is not None
+                and self._scheduler.error is None
+                and not self._closed
+                and time.monotonic() - start < 60.0
+            ):
+                self._flush_cv.wait(timeout=0.05)
+            self.stats.stall_events += 1
+            self.stats.stall_time_s += time.monotonic() - start
+            if self._immutable is not None:
+                return  # flusher wedged or errored; keep accepting writes
+        self._pending_log = self._freeze_locked()
+        self._scheduler.wake()
+
     def flush(self) -> FileMetadata | None:
-        """Freeze the active memtable and flush it to an L0 SSTable."""
+        """Freeze the active memtable and flush it to an L0 SSTable.
+
+        In concurrent mode this hands the frozen memtable to the background
+        worker and waits for that flush to land."""
         self._check_open()
+        if self._scheduler is None:
+            with self._lock:
+                return self._flush_locked()
+        self._scheduler.raise_if_failed()
         with self._lock:
-            return self._flush_locked()
+            if self._immutable is None:
+                if len(self._memtable) == 0:
+                    return None
+                self._pending_log = self._freeze_locked()
+            self._last_flush_meta = None
+            self._scheduler.wake()
+            while self._immutable is not None and self._scheduler.error is None:
+                self._flush_cv.wait(timeout=0.05)
+            meta = self._last_flush_meta
+        self._scheduler.raise_if_failed()
+        return meta
 
     def _flush_locked(self) -> FileMetadata | None:
         if len(self._memtable) == 0:
             return None
+        old_log = self._freeze_locked()
+        meta = self._build_flush()
+        return self._commit_flush_locked(meta, old_log)
+
+    def _freeze_locked(self) -> str | None:
+        """Freeze the active memtable into ``_immutable`` and rotate the
+        WAL; returns the retiring log's name (deleted once the flush
+        lands — until then it still guards the frozen entries)."""
         self._memtable.freeze()
         self._immutable = self._memtable
         self._memtable = self._new_memtable()
@@ -290,11 +552,21 @@ class DB:
             self._wal.close()
             self._log_number = self.new_file_number()
             self._wal = WalWriter(self.fs, _log_name(self._log_number))
+        return old_log
 
+    def _build_flush(self) -> FileMetadata | None:
+        """Build the L0 table from the frozen memtable.  Safe without the
+        engine lock: ``_immutable`` is frozen and only cleared by the same
+        thread that commits the flush."""
+        immutable = self._immutable
         file_number = self.new_file_number()
-        meta = flush_memtable(
-            self.fs, self.options, self._immutable, file_number, self.snapshot_boundaries()
+        return flush_memtable(
+            self.fs, self.options, immutable, file_number, self.snapshot_boundaries()
         )
+
+    def _commit_flush_locked(
+        self, meta: FileMetadata | None, old_log: str | None
+    ) -> FileMetadata | None:
         self._immutable = None
         if meta is not None:
             edit = VersionEdit(
@@ -346,6 +618,62 @@ class DB:
             # file, so auxiliary maintenance (L2SM's log drain) may compact.
             self._post_compaction_maintenance()
 
+    def _request_compaction(self) -> None:
+        """Compaction work became due: run it inline (synchronous mode) or
+        wake the background worker (concurrent mode)."""
+        if self._scheduler is not None:
+            self._scheduler.wake()
+        else:
+            self._run_due_compactions()
+
+    def _background_paused(self):
+        """Context manager quiescing the background worker (no-op in
+        synchronous mode, or when already on the worker thread)."""
+        scheduler = self._scheduler
+        if scheduler is None or scheduler.on_worker_thread():
+            return _NULL_CONTEXT
+        return _SchedulerPause(scheduler)
+
+    def _background_work(self) -> None:
+        """The background worker's round (see :class:`BackgroundScheduler`):
+        land any frozen memtable first — it gates foreground writers — then
+        drain due compactions, executing each with the engine lock released
+        and committing under it."""
+        scheduler = self._scheduler
+        while not scheduler.stopping and not scheduler.paused:
+            if self._closed:
+                return
+            if self._immutable is not None:
+                meta = self._build_flush()
+                with self._lock:
+                    self._commit_flush_locked(meta, self._pending_log)
+                    self._pending_log = None
+                    self._last_flush_meta = meta
+                    self._flush_cv.notify_all()
+                continue
+            with self._lock:
+                if self._closed:
+                    return
+                task = self.picker.pick(self.version)
+            if task is None:
+                return
+            result = self._execute_compaction(task)
+            with self._lock:
+                self._commit_compaction(task, result)
+                self._post_compaction_maintenance()
+                self._l0_cv.notify_all()
+
+    def wait_for_background(self, timeout: float | None = None) -> bool:
+        """Block until queued background flush/compaction work has drained
+        (re-raising any stored background failure).  Returns False if the
+        timeout elapsed first; always True in synchronous mode."""
+        if self._scheduler is None:
+            return True
+        self._scheduler.wake()
+        drained = self._scheduler.wait_idle(timeout)
+        self._scheduler.raise_if_failed()
+        return drained
+
     def compaction_style_for(self, task: CompactionTask) -> str:
         """Which scheme handles ``task`` (overridable hook).
 
@@ -378,8 +706,23 @@ class DB:
         """Hook called between compaction tasks (no task in flight)."""
 
     def run_compaction(self, task: CompactionTask) -> CompactionResult:
-        """Execute one compaction task and apply its result."""
+        """Execute one compaction task and apply its result.
+
+        In concurrent mode the caller-facing entry quiesces the background
+        worker first (two compactions must never run at once — the worker
+        being the sole routine mutator is what makes its lock-free
+        execution safe)."""
         self._check_open()
+        with self._background_paused():
+            with self._lock:
+                result = self._execute_compaction(task)
+                return self._commit_compaction(task, result)
+
+    def _execute_compaction(self, task: CompactionTask) -> CompactionResult:
+        """The heavy half: merge/rewrite and build output files.  In the
+        background worker this runs with the engine lock released — it only
+        reads the version (stable between pick and commit) and writes fresh
+        files nothing else references yet."""
         diverted = self._maybe_divert_task(task)
         if diverted is not None:
             result = diverted
@@ -399,6 +742,7 @@ class DB:
                     self.fs.stats,
                     self.options.compaction_workers,
                     self.options.parallel_merging,
+                    executor=self._subtask_executor,
                 )
                 result = run_selective_compaction(self, task, scheduler)
             else:  # pragma: no cover - options.validate() rejects this
@@ -411,7 +755,13 @@ class DB:
             self.table_cache.get(meta.file_number, meta.file_name(), CAT_COMPACTION)
         for _level, meta in result.edit.updated_files:
             self.table_cache.get(meta.file_number, meta.file_name(), CAT_COMPACTION)
+        return result
 
+    def _commit_compaction(
+        self, task: CompactionTask, result: CompactionResult
+    ) -> CompactionResult:
+        """The short half, always under the engine lock: install the version
+        edit, retire replaced files, record stats."""
         self.picker.advance_pointer(task)
         result.edit.compact_pointers.append(
             (task.parent_level, self.picker.compact_pointer[task.parent_level])
@@ -459,12 +809,25 @@ class DB:
         """Drain every level into the deepest non-empty level (manual full
         compaction, used by tests and experiment setup)."""
         self._check_open()
-        with self._lock:
-            self._compact_all_locked()
+        with self._background_paused():
+            with self._lock:
+                self._compact_all_locked()
+
+    def _drain_immutable_locked(self) -> None:
+        """Land a pending frozen memtable inline (manual compactions run
+        with the background worker paused, so nobody else will)."""
+        if self._immutable is None:
+            return
+        meta = self._build_flush()
+        self._commit_flush_locked(meta, self._pending_log)
+        self._pending_log = None
+        self._last_flush_meta = meta
+        self._flush_cv.notify_all()
 
     def _compact_all_locked(self) -> None:
+        self._drain_immutable_locked()
         if len(self._memtable):
-            self.flush()
+            self._flush_locked()
         for _pass in range(self.version.num_levels * 4):
             moved = False
             for level in range(self.version.num_levels - 1):
@@ -493,12 +856,14 @@ class DB:
         droppable tombstones in the range are collected.
         """
         self._check_open()
-        with self._lock:
-            self._compact_range_locked(begin, end)
+        with self._background_paused():
+            with self._lock:
+                self._compact_range_locked(begin, end)
 
     def _compact_range_locked(self, begin: bytes | None, end: bytes | None) -> None:
+        self._drain_immutable_locked()
         if len(self._memtable):
-            self.flush()
+            self._flush_locked()
         for _pass in range(self.version.num_levels * 4):
             moved = False
             for level in range(self.version.num_levels - 1):
@@ -547,8 +912,120 @@ class DB:
     def multi_get(
         self, keys: list[bytes], *, snapshot: Snapshot | None = None
     ) -> dict[bytes, bytes | None]:
-        """Batched point lookups: ``{key: value-or-None}`` for each input."""
-        return {key: self.get(key, snapshot=snapshot) for key in keys}
+        """Batched point lookups: ``{key: value-or-None}`` for each input.
+
+        A true batch, not a per-key loop: the snapshot, version and engine
+        lock are resolved once, and SSTable probes are grouped per file —
+        each table's reader is fetched from the table cache once per batch
+        instead of once per (key, file) pair.  Lookup results (including
+        seek-compaction charges) match ``get`` called per key."""
+        self._check_open()
+        checked: list[bytes] = []
+        for key in keys:
+            if not isinstance(key, (bytes, bytearray)):
+                raise InvalidArgumentError("keys must be bytes")
+            checked.append(bytes(key))
+        with self._lock:
+            return self._multi_get_locked(checked, snapshot)
+
+    def _multi_get_locked(
+        self, keys: list[bytes], snapshot: Snapshot | None
+    ) -> dict[bytes, bytes | None]:
+        stats = self.stats
+        stats.gets += len(keys)
+        sequence = self._resolve_snapshot(snapshot, self._sequence)
+
+        # ``resolved`` maps key -> raw value (None = tombstone); keys absent
+        # from it fell through every component.
+        resolved: dict[bytes, bytes | None] = {}
+        pending: list[bytes] = []
+        for key in keys:
+            if key in resolved or key in pending:
+                continue
+            found, value = self._memtable.get(key, sequence)
+            if not found and self._immutable is not None:
+                found, value = self._immutable.get(key, sequence)
+            if found:
+                resolved[key] = value
+            else:
+                pending.append(key)
+
+        if pending:
+            # Per-key seek-charge bookkeeping, mirroring _get_locked:
+            # [first_miss, charged] per still-unresolved key.
+            trackers: dict[bytes, list] = {key: [None, False] for key in pending}
+            exhausted = False
+
+            def probe(level, meta, reader, key):
+                """Probe one file for one key, tracking seek charges."""
+                nonlocal exhausted
+                found, value, touched = reader.lookup(
+                    key, sequence, block_cache=self.block_cache, category=CAT_GET
+                )
+                tracker = trackers[key]
+                if touched and not found and tracker[0] is None:
+                    tracker[0] = (level, meta)
+                elif (touched or found) and tracker[0] is not None and not tracker[1]:
+                    tracker[1] = True
+                    miss_level, miss_meta = tracker[0]
+                    miss_meta.allowed_seeks -= 1
+                    stats.seek_miss_charges += 1
+                    if miss_meta.allowed_seeks <= 0:
+                        self.picker.note_seek_exhausted(miss_level, miss_meta)
+                        miss_meta.allowed_seeks = self._seek_budget(miss_meta)
+                        exhausted = True
+                return found, value
+
+            for meta in self.version.level0_files_newest_first():
+                if not pending:
+                    break
+                in_range = [
+                    key
+                    for key in pending
+                    if meta.smallest_user_key <= key <= meta.largest_user_key
+                ]
+                if not in_range:
+                    continue
+                reader = self.table_cache.get(meta.file_number, meta.file_name())
+                for key in in_range:
+                    found, value = probe(0, meta, reader, key)
+                    if found:
+                        resolved[key] = value
+                        pending.remove(key)
+            for level in range(1, self.version.num_levels):
+                if not pending:
+                    break
+                by_file: dict[int, tuple[FileMetadata, list[bytes]]] = {}
+                for key in pending:
+                    meta = self.version.file_for_key(level, key)
+                    if meta is not None:
+                        by_file.setdefault(meta.file_number, (meta, []))[1].append(key)
+                for meta, file_keys in by_file.values():
+                    reader = self.table_cache.get(meta.file_number, meta.file_name())
+                    for key in file_keys:
+                        found, value = probe(level, meta, reader, key)
+                        if found:
+                            resolved[key] = value
+                            pending.remove(key)
+                for key in list(pending):
+                    extra = self._extra_get_after_level(level, key, sequence)
+                    if extra is not None:
+                        found, value = extra
+                        if found:
+                            resolved[key] = value
+                            pending.remove(key)
+            if exhausted:
+                # Deferred to after the whole batch: compacting mid-batch
+                # would pull files out from under the remaining probes.
+                self._request_compaction()
+
+        out: dict[bytes, bytes | None] = {}
+        for key in keys:
+            value = resolved.get(key)
+            if value is not None:
+                stats.gets_found += 1
+            out[key] = value
+        return out
 
     def _rewrite_bottom_level(self) -> None:
         """Rewrite the deepest level in place, dropping shadowed versions
@@ -687,7 +1164,7 @@ class DB:
         if meta.allowed_seeks <= 0:
             self.picker.note_seek_exhausted(level, meta)
             meta.allowed_seeks = self._seek_budget(meta)
-            self._run_due_compactions()
+            self._request_compaction()
 
     def _seek_budget(self, meta: FileMetadata) -> int:
         return max(
@@ -777,7 +1254,7 @@ class DB:
                 and self.deletion_manager.active_pins == 0
                 and self.picker.seek_candidates
             ):
-                self._run_due_compactions()
+                self._request_compaction()
 
     def _level_blocks(
         self,
@@ -936,15 +1413,33 @@ class DB:
             f"peak-space={s.max_space_bytes / 1024:.1f} KiB "
             f"sim-time={self.io_stats.sim_time_s:.4f} s"
         )
+        lines.append(
+            f"stalls: events={s.stall_events} stops={s.stall_stops} "
+            f"stall-time={s.stall_time_s:.3f} s"
+        )
         return "\n".join(lines)
 
     def close(self) -> None:
-        """Flush nothing (in-memory data survives via WAL), release files."""
+        """Flush nothing (in-memory data survives via WAL), release files.
+
+        A frozen-but-unflushed memtable also survives: its WAL is only
+        deleted once its flush commits, and recovery replays every live
+        log."""
         if self._closed:
             return
+        # Stop background machinery before taking the lock: the worker may
+        # need the lock to finish its in-flight round.
+        if self._scheduler is not None:
+            self._scheduler.close()
+        if self._subtask_executor is not None:
+            self._subtask_executor.shutdown(wait=True)
         with self._lock:
+            if self._closed:
+                return
             self._closed = True
             self._close_locked()
+            self._flush_cv.notify_all()
+            self._l0_cv.notify_all()
 
     def _close_locked(self) -> None:
         if self._wal is not None:

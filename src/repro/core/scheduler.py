@@ -1,0 +1,146 @@
+"""Background flush/compaction executor (the concurrent write pipeline).
+
+With ``Options.background_compaction`` the DB stops running flushes and
+compaction cascades inline on the writing thread.  Instead:
+
+* a write that fills the memtable *freezes* it (the frozen immutable
+  memtable stays fully readable) and wakes this scheduler's single worker
+  thread, exactly like LevelDB's ``MaybeScheduleCompaction``;
+* the worker builds the L0 table and executes compactions with the engine
+  lock **released** — only the short commit step (version edit, file
+  retirement) re-acquires it — so foreground reads and writes proceed
+  while the heavy merging and I/O run in the background;
+* L0 pressure feeds back through the write path's slowdown/stop triggers
+  (bounded sleep / block-until-drained), never through errors.
+
+One worker thread is deliberate: it serializes all structural mutation of
+the tree, which is what makes releasing the engine lock during compaction
+*execution* safe — between a pick and its commit nothing else can edit the
+version.  Intra-compaction parallelism comes from
+``Options.real_parallel_compaction`` (disjoint sub-tasks on a thread
+pool), matching LevelDB's one-background-thread architecture with the
+paper's Parallel Merging layered inside it.
+
+A failure in background work is remembered and re-raised on the next
+foreground write or flush (LevelDB's ``bg_error_``); the worker stops, and
+the DB keeps serving reads.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+
+class BackgroundScheduler:
+    """One daemon worker thread servicing flush + compaction rounds.
+
+    ``work_fn`` is called with no arguments whenever work is signalled; it
+    must loop internally until nothing is due, and check :attr:`stopping`
+    between units of work so close() stays prompt.
+    """
+
+    def __init__(self, work_fn: Callable[[], None], *, name: str = "repro-background"):
+        self._work_fn = work_fn
+        self._cv = threading.Condition()
+        self._work_due = False
+        self._idle = True
+        self._paused = 0
+        self._closed = False
+        #: First exception raised by background work; the worker halts on it.
+        self.error: BaseException | None = None
+        self._thread = threading.Thread(target=self._loop, name=name, daemon=True)
+        self._thread.start()
+
+    # ------------------------------------------------------------- signalling
+
+    @property
+    def stopping(self) -> bool:
+        """True once close() was requested; work loops should wind down."""
+        return self._closed
+
+    @property
+    def paused(self) -> bool:
+        """True while a foreground caller holds the worker paused."""
+        return self._paused > 0
+
+    def pause(self) -> None:
+        """Quiesce the worker: block until the in-flight round yields, and
+        keep new rounds from starting until :meth:`resume`.  Counted, so
+        nested pauses compose.  Used by manual compactions, which mutate
+        the version inline and must not race an executing background
+        compaction's file reads/retirement."""
+        with self._cv:
+            self._paused += 1
+            self._cv.wait_for(
+                lambda: self.error is not None or self._closed or self._idle
+            )
+
+    def resume(self) -> None:
+        with self._cv:
+            self._paused = max(0, self._paused - 1)
+            if self._paused == 0:
+                # Re-signal: work may have become due while quiesced.
+                self._work_due = True
+                self._cv.notify_all()
+
+    def wake(self) -> None:
+        """Signal that flush/compaction work may be due."""
+        with self._cv:
+            if self._closed or self.error is not None:
+                return
+            self._work_due = True
+            self._cv.notify_all()
+
+    def wait_idle(self, timeout: float | None = None) -> bool:
+        """Block until the worker has drained all due work (or errored).
+
+        Returns False if ``timeout`` elapsed first.
+        """
+        with self._cv:
+            return self._cv.wait_for(
+                lambda: self.error is not None
+                or self._closed
+                or (self._idle and not self._work_due),
+                timeout,
+            )
+
+    def on_worker_thread(self) -> bool:
+        return threading.current_thread() is self._thread
+
+    def raise_if_failed(self) -> None:
+        """Re-raise the stored background failure, if any."""
+        if self.error is not None:
+            raise self.error
+
+    def close(self, timeout: float = 60.0) -> None:
+        """Stop the worker, letting an in-flight round finish."""
+        with self._cv:
+            self._closed = True
+            self._cv.notify_all()
+        if self._thread is not threading.current_thread():
+            self._thread.join(timeout=timeout)
+
+    # ------------------------------------------------------------- the worker
+
+    def _loop(self) -> None:
+        while True:
+            with self._cv:
+                while not self._closed and (not self._work_due or self._paused):
+                    self._idle = True
+                    self._cv.notify_all()
+                    self._cv.wait()
+                if self._closed:
+                    self._idle = True
+                    self._cv.notify_all()
+                    return
+                self._work_due = False
+                self._idle = False
+            try:
+                self._work_fn()
+            except BaseException as exc:  # noqa: BLE001 - stored, re-raised on write
+                with self._cv:
+                    self.error = exc
+                    self._idle = True
+                    self._cv.notify_all()
+                return

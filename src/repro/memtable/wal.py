@@ -20,12 +20,19 @@ _HEADER_CRC_BYTES = 4
 
 
 class WalWriter:
-    """Appends records to a log file."""
+    """Appends records to a log file.
+
+    Not internally locked: callers serialize appends (the engine holds its
+    write lock, or the group-commit leader is the only appender).
+    """
 
     def __init__(self, fs: FileSystem, name: str):
         self._file: WritableFile = fs.create_file(name, category=CAT_WAL)
         self._writer = BufferWriter()
         self.name = name
+        #: Records appended (group commit coalesces many batches per append,
+        #: so ``records_written`` can exceed the file's append count).
+        self.records_written = 0
 
     def add_record(self, payload: bytes) -> None:
         """Frame ``payload`` (crc, length, bytes) and append it to the log.
@@ -38,6 +45,23 @@ class WalWriter:
         writer.clear()
         writer.fixed32(crc32c(payload))
         writer.length_prefixed(payload)
+        self.records_written += 1
+        self._file.append(writer.getvalue(), category=CAT_WAL)
+
+    def add_records(self, payloads: list[bytes]) -> None:
+        """Frame every payload and append them all in ONE device write.
+
+        This is group commit's amortization: each batch keeps its own
+        record (recovery replays them individually, preserving per-batch
+        atomicity), but the device sees a single append for the whole
+        group instead of one per writer.
+        """
+        writer = self._writer
+        writer.clear()
+        for payload in payloads:
+            writer.fixed32(crc32c(payload))
+            writer.length_prefixed(payload)
+        self.records_written += len(payloads)
         self._file.append(writer.getvalue(), category=CAT_WAL)
 
     def size(self) -> int:

@@ -55,6 +55,19 @@ def _fmt(value: Any) -> str:
     return str(value)
 
 
+def format_write_stalls(stats: Any) -> str:
+    """One-row table summarizing write-stall pressure from a
+    :class:`~repro.metrics.stats.DBStats`: slowdown/stop event counts and
+    the wall-clock time writers spent throttled (``stall_time_s`` is only
+    nonzero in the concurrent pipeline — the synchronous engine never
+    sleeps, it just counts ``stall_events``)."""
+    return format_table(
+        ["stall events", "hard stops", "stall time (s)"],
+        [[stats.stall_events, stats.stall_stops, stats.stall_time_s]],
+        title="Write stalls",
+    )
+
+
 def human_bytes(n: int | float) -> str:
     """1536 -> '1.5 KiB'."""
     n = float(n)

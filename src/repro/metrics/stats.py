@@ -36,6 +36,14 @@ class DBStats:
     flush_count: int = 0
     flush_bytes: int = 0
     stall_events: int = 0
+    #: Wall-clock seconds writes spent throttled by the L0 triggers
+    #: (slowdown sleeps + stop waits).  The synchronous mode never sleeps,
+    #: so this stays 0.0 there while ``stall_events`` still counts
+    #: slowdown-trigger hits; the concurrent pipeline records both.
+    stall_time_s: float = 0.0
+    #: Stop-trigger stalls (writes that blocked until L0 drained), a subset
+    #: of ``stall_events``.
+    stall_stops: int = 0
 
     # read path
     gets: int = 0

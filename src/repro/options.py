@@ -146,6 +146,27 @@ class Options:
     enable_trivial_move: bool = True
     selective_thresholds: list[SelectiveThresholds] = field(default_factory=list)
 
+    # --- Concurrency (DESIGN.md §7) -------------------------------------------
+    #: Run flushes and compactions on a background worker thread instead of
+    #: inline on the writing thread.  Off by default: the synchronous mode
+    #: is deterministic and generates the paper's figures; the concurrent
+    #: mode trades that determinism for real multi-threaded throughput.
+    background_compaction: bool = False
+    #: Coalesce concurrent writers' batches into one WAL append and one
+    #: lock-held memtable apply (LevelDB's leader/follower writer queue).
+    group_commit: bool = False
+    #: Largest coalesced group the leader will commit at once.
+    group_commit_max_bytes: int = 1 * 1024 * 1024
+    #: Execute disjoint compaction sub-tasks on a real thread pool instead
+    #: of the deterministic simulated-makespan rebate (Parallel Merging).
+    real_parallel_compaction: bool = False
+    #: Bounded sleep applied once per write while L0 is at or above the
+    #: slowdown trigger (LevelDB sleeps 1 ms).  Concurrent pipeline only.
+    level0_slowdown_sleep_s: float = 0.001
+    #: Upper bound on one write's stop-trigger stall before it proceeds
+    #: anyway — writes must never error under L0 pressure.
+    level0_stop_max_wait_s: float = 30.0
+
     # --- Optimizations (Section IV) -------------------------------------------
     parallel_merging: bool = False
     compaction_workers: int = 4
@@ -220,6 +241,12 @@ class Options:
             raise InvalidArgumentError("compaction_workers must be >= 1")
         if self.level0_stop_writes_trigger < self.level0_slowdown_writes_trigger:
             raise InvalidArgumentError("stop trigger must be >= slowdown trigger")
+        if self.level0_slowdown_sleep_s < 0:
+            raise InvalidArgumentError("level0_slowdown_sleep_s must be >= 0")
+        if self.level0_stop_max_wait_s <= 0:
+            raise InvalidArgumentError("level0_stop_max_wait_s must be positive")
+        if self.group_commit_max_bytes < 1:
+            raise InvalidArgumentError("group_commit_max_bytes must be >= 1")
         if len(self.selective_thresholds) < self.max_levels:
             raise InvalidArgumentError("selective_thresholds must cover every level")
         for t in self.selective_thresholds:
@@ -234,3 +261,16 @@ class Options:
     def copy(self, **overrides) -> "Options":
         """Return a copy of these options with ``overrides`` applied."""
         return dataclasses.replace(self, **overrides)
+
+    def concurrent_pipeline(self, **overrides) -> "Options":
+        """Copy with the full concurrent write pipeline enabled: background
+        flush/compaction, group commit, and real parallel sub-task execution
+        (DESIGN.md §7).  Simulated metrics are not deterministic in this
+        mode; use the default synchronous mode for the paper's figures."""
+        params: dict = dict(
+            background_compaction=True,
+            group_commit=True,
+            real_parallel_compaction=True,
+        )
+        params.update(overrides)
+        return self.copy(**params)

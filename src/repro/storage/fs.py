@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 from abc import ABC, abstractmethod
 
 from ..errors import FileSystemError
@@ -45,7 +46,7 @@ class WritableFile:
         self._fs._append(self._name, data)
         cat = category or self._category
         self._fs.stats.record_write(len(data), cat)
-        self._fs.stats.charge_time(self._fs.device.sequential_write_cost(len(data)), cat)
+        self._fs.charge_time(self._fs.device.sequential_write_cost(len(data)), cat)
 
     def size(self) -> int:
         return self._fs.file_size(self._name)
@@ -83,9 +84,9 @@ class RandomAccessFile:
         data = self._fs._read(self._name, offset, nbytes)
         self._fs.stats.record_read(len(data), category, random=not sequential)
         if sequential:
-            self._fs.stats.charge_time(self._fs.device.sequential_read_cost(len(data)), category)
+            self._fs.charge_time(self._fs.device.sequential_read_cost(len(data)), category)
         else:
-            self._fs.stats.charge_time(self._fs.device.random_read_cost(len(data)), category)
+            self._fs.charge_time(self._fs.device.random_read_cost(len(data)), category)
         return data
 
     def read_many(
@@ -100,7 +101,7 @@ class RandomAccessFile:
         sizes = [len(c) for c in chunks]
         for n in sizes:
             self._fs.stats.record_read(n, category, random=True)
-        self._fs.stats.charge_time(
+        self._fs.charge_time(
             self._fs.device.parallel_random_read_cost(sizes, concurrency), category
         )
         return chunks
@@ -121,11 +122,32 @@ class RandomAccessFile:
 class FileSystem(ABC):
     """Common interface; see module docstring."""
 
-    def __init__(self, device: DeviceModel | None = None, stats: IOStats | None = None):
+    def __init__(
+        self,
+        device: DeviceModel | None = None,
+        stats: IOStats | None = None,
+        *,
+        realtime: float = 0.0,
+    ):
         self.device = device or DeviceModel()
         self.device.validate()
         self.stats = stats or IOStats()
         self._lock = threading.RLock()
+        #: When > 0, every charged device-time second also *sleeps*
+        #: ``realtime`` wall-clock seconds.  This turns the analytic device
+        #: model into an emulated device: I/O takes real time and releases
+        #: the GIL, so background flush/compaction genuinely overlaps
+        #: foreground work — the setting the concurrency benchmark uses.
+        #: Zero (the default) keeps the simulation instantaneous.
+        self.realtime = realtime
+        if realtime < 0:
+            raise ValueError("realtime factor must be >= 0")
+
+    def charge_time(self, seconds: float, category: str) -> None:
+        """Charge ``seconds`` of device time, sleeping it in realtime mode."""
+        self.stats.charge_time(seconds, category)
+        if self.realtime > 0.0 and seconds > 0.0:
+            time.sleep(seconds * self.realtime)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -146,14 +168,14 @@ class FileSystem(ABC):
         """Open ``name`` for positional reads, charging the open cost."""
         if not self.exists(name):
             raise FileSystemError(f"cannot open missing file {name!r}")
-        self.stats.charge_time(self.device.file_open_cost, category)
+        self.charge_time(self.device.file_open_cost, category)
         return RandomAccessFile(self, name)
 
     def delete_file(self, name: str) -> None:
         with self._lock:
             self._delete(name)
             self.stats.files_deleted += 1
-            self.stats.charge_time(self.device.file_delete_cost, "meta")
+            self.charge_time(self.device.file_delete_cost, "meta")
 
     def scan_directory(self) -> list[str]:
         """List all files, charging the directory-scan cost Lazy Deletion
@@ -162,7 +184,7 @@ class FileSystem(ABC):
             names = self.list_dir()
             self.stats.dir_scans += 1
             self.stats.dir_scan_entries += len(names)
-            self.stats.charge_time(self.device.directory_scan_cost(len(names)), "meta")
+            self.charge_time(self.device.directory_scan_cost(len(names)), "meta")
             return names
 
     # -- abstract backend ops ------------------------------------------------
@@ -202,8 +224,14 @@ class FileSystem(ABC):
 class SimulatedFS(FileSystem):
     """In-memory filesystem: ``name -> bytearray``.  Thread-safe."""
 
-    def __init__(self, device: DeviceModel | None = None, stats: IOStats | None = None):
-        super().__init__(device, stats)
+    def __init__(
+        self,
+        device: DeviceModel | None = None,
+        stats: IOStats | None = None,
+        *,
+        realtime: float = 0.0,
+    ):
+        super().__init__(device, stats, realtime=realtime)
         self._files: dict[str, bytearray] = {}
 
     def _create(self, name: str) -> None:
@@ -266,8 +294,10 @@ class LocalFS(FileSystem):
         root: str,
         device: DeviceModel | None = None,
         stats: IOStats | None = None,
+        *,
+        realtime: float = 0.0,
     ):
-        super().__init__(device, stats)
+        super().__init__(device, stats, realtime=realtime)
         self.root = root
         os.makedirs(root, exist_ok=True)
 

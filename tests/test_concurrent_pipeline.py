@@ -1,0 +1,339 @@
+"""Concurrent write pipeline: background flush/compaction, group commit,
+L0 throttling, real parallel sub-tasks, batched multi_get, and the
+thread-safety stress test (DESIGN.md §7)."""
+
+import threading
+
+import pytest
+
+from conftest import kv, make_db, tiny_options
+from repro.core.db import DB
+from repro.core.write_batch import WriteBatch
+from repro.options import COMPACTION_SELECTIVE, COMPACTION_TABLE
+from repro.storage.fs import LocalFS, SimulatedFS
+
+
+def make_concurrent_db(style: str = COMPACTION_TABLE, fs=None, **overrides) -> DB:
+    options = tiny_options(compaction_style=style, **overrides).concurrent_pipeline()
+    return DB(fs or SimulatedFS(), options, seed=1)
+
+
+class TestBackgroundPipeline:
+    def test_writes_flush_in_background(self):
+        db = make_concurrent_db()
+        for i in range(200):
+            db.put(*kv(i))
+        assert db.wait_for_background(timeout=60)
+        assert db.stats.flush_count > 0
+        for i in range(200):
+            key, value = kv(i)
+            assert db.get(key) == value
+        db.close()
+
+    def test_immutable_memtable_readable_during_flush(self):
+        """A frozen-but-unflushed memtable still serves reads."""
+        db = make_concurrent_db()
+        db._scheduler.pause()  # keep the flush from landing
+        try:
+            written = 0
+            while db._immutable is None and written < 100:
+                db.put(*kv(written))  # stops at the first (stuck) freeze
+                written += 1
+            assert db._immutable is not None
+            for i in range(written):
+                key, value = kv(i)
+                assert db.get(key) == value
+        finally:
+            db._scheduler.resume()
+        db.wait_for_background(timeout=60)
+        for i in range(written):
+            key, value = kv(i)
+            assert db.get(key) == value
+        db.close()
+
+    def test_background_error_surfaces_on_next_write(self, monkeypatch):
+        db = make_concurrent_db()
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("injected background failure")
+
+        monkeypatch.setattr(db, "_build_flush", boom)
+        for i in range(5):
+            db.put(*kv(i))
+        with pytest.raises(RuntimeError, match="injected"):
+            db.flush()
+        assert db._scheduler.error is not None
+        with pytest.raises(RuntimeError, match="injected"):
+            db.put(*kv(99))
+        db.close()
+
+    def test_flush_waits_for_background_and_returns_meta(self):
+        db = make_concurrent_db()
+        db.put(*kv(1))
+        meta = db.flush()
+        assert meta is not None
+        assert db._immutable is None
+        assert db.num_files_per_level()[0] >= 1
+        db.close()
+
+    def test_manual_compaction_quiesces_worker(self):
+        db = make_concurrent_db()
+        for i in range(400):
+            db.put(*kv(i))
+        db.compact_all()
+        for i in range(400):
+            key, value = kv(i)
+            assert db.get(key) == value
+        # everything drained below L0 by the manual pass
+        assert db.num_files_per_level()[0] == 0
+        db.close()
+
+    def test_close_then_reopen_recovers_acknowledged_writes(self, tmp_path):
+        root = str(tmp_path / "db")
+        db = make_concurrent_db(fs=LocalFS(root))
+        for i in range(300):
+            db.put(*kv(i))
+        db.close()
+        db2 = make_concurrent_db(fs=LocalFS(root))
+        for i in range(300):
+            key, value = kv(i)
+            assert db2.get(key) == value
+        db2.close()
+
+
+class TestGroupCommit:
+    def test_concurrent_writers_all_land(self):
+        db = make_concurrent_db()
+        errors = []
+
+        def writer(tid):
+            try:
+                for i in range(150):
+                    key = f"t{tid}-{i:04d}".encode()
+                    db.put(key, key + b"=v")
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(t,)) for t in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        db.wait_for_background(timeout=60)
+        for tid in range(6):
+            for i in range(150):
+                key = f"t{tid}-{i:04d}".encode()
+                assert db.get(key) == key + b"=v"
+        db.close()
+
+    def test_batches_stay_atomic_under_grouping(self):
+        """Each grouped batch keeps its own WAL record and sequence run."""
+        db = make_concurrent_db()
+        batch = WriteBatch()
+        batch.put(b"a", b"1")
+        batch.put(b"b", b"2")
+        batch.delete(b"a")
+        db.write(batch)
+        assert db.get(b"a") is None
+        assert db.get(b"b") == b"2"
+        assert db._wal.records_written == 1
+        db.close()
+
+    def test_group_commit_without_background(self):
+        """group_commit composes with the synchronous engine (leader runs
+        flush + compactions inline)."""
+        options = tiny_options(group_commit=True)
+        db = DB(SimulatedFS(), options, seed=1)
+        for i in range(300):
+            db.put(*kv(i))
+        assert db.stats.flush_count > 0
+        for i in range(300):
+            key, value = kv(i)
+            assert db.get(key) == value
+        db.close()
+
+
+class TestL0Throttling:
+    def _wedge_compactions(self, db, monkeypatch):
+        """Keep the worker from draining L0 so triggers stay exceeded."""
+        monkeypatch.setattr(db.picker, "pick", lambda version: None)
+
+    def test_slowdown_trigger_sleeps_and_counts(self, monkeypatch):
+        db = make_concurrent_db(
+            level0_slowdown_writes_trigger=1,
+            level0_stop_writes_trigger=100,
+            level0_slowdown_sleep_s=0.002,
+        )
+        self._wedge_compactions(db, monkeypatch)
+        db.put(*kv(0))
+        db.flush()  # one L0 file >= slowdown trigger
+        before = db.stats.stall_events
+        db.put(*kv(1))
+        assert db.stats.stall_events == before + 1
+        assert db.stats.stall_stops == 0
+        assert db.stats.stall_time_s >= 0.002
+        assert db.get(kv(1)[0]) == kv(1)[1]  # write landed regardless
+        db.close()
+
+    def test_stop_trigger_blocks_bounded_and_never_errors(self, monkeypatch):
+        db = make_concurrent_db(
+            level0_slowdown_writes_trigger=1,
+            level0_stop_writes_trigger=2,
+            level0_stop_max_wait_s=0.2,
+        )
+        self._wedge_compactions(db, monkeypatch)
+        for i in range(2):
+            db.put(*kv(i))
+            db.flush()
+        assert db.num_files_per_level()[0] >= 2
+        before_stops = db.stats.stall_stops
+        db.put(*kv(10))  # blocks until the bounded deadline, then proceeds
+        assert db.stats.stall_stops == before_stops + 1
+        assert db.stats.stall_time_s >= 0.2
+        assert db.get(kv(10)[0]) == kv(10)[1]
+        db.close()
+
+    def test_stop_wait_releases_when_l0_drains(self):
+        db = make_concurrent_db(
+            level0_slowdown_writes_trigger=2,
+            level0_stop_writes_trigger=4,
+            level0_stop_max_wait_s=30.0,
+        )
+        for i in range(1000):
+            db.put(*kv(i))  # worker keeps up; no write may error
+        db.wait_for_background(timeout=60)
+        assert db.num_files_per_level()[0] < 4
+        db.close()
+
+
+class TestRealParallelCompaction:
+    def test_selective_parallel_matches_sync_contents(self):
+        def fill(db):
+            for i in range(600):
+                db.put(*kv(i))
+            for i in range(0, 600, 3):
+                key, _ = kv(i)
+                db.put(key, key + b"=updated")
+            db.compact_all()
+
+        sync_db = make_db(COMPACTION_SELECTIVE)
+        fill(sync_db)
+        expected = sync_db.scan()
+        sync_db.close()
+
+        par_db = make_concurrent_db(COMPACTION_SELECTIVE)
+        fill(par_db)
+        par_db.wait_for_background(timeout=60)
+        assert par_db.scan() == expected
+        par_db.close()
+
+
+class TestBatchedMultiGet:
+    def test_matches_per_key_get(self, any_style):
+        db = make_db(any_style)
+        for i in range(300):
+            db.put(*kv(i))
+        for i in range(0, 300, 7):
+            db.delete(kv(i)[0])
+        db.compact_all()
+        for i in range(300, 330):
+            db.put(*kv(i))  # some keys still in the memtable
+
+        keys = [kv(i)[0] for i in range(0, 340, 3)] + [b"absent", kv(7)[0]]
+        result = db.multi_get(keys)
+        assert set(result) == set(keys)
+        for key in keys:
+            assert result[key] == db.get(key), key
+        db.close()
+
+    def test_stats_match_per_key_get(self):
+        def fill(db):
+            for i in range(200):
+                db.put(*kv(i))
+            db.compact_all()
+
+        keys = [kv(i)[0] for i in range(0, 220, 2)]
+
+        batched = make_db()
+        fill(batched)
+        batched.multi_get(keys)
+        batched_stats = (batched.stats.gets, batched.stats.gets_found)
+        batched.close()
+
+        naive = make_db()
+        fill(naive)
+        for key in keys:
+            naive.get(key)
+        assert (naive.stats.gets, naive.stats.gets_found) == batched_stats
+        naive.close()
+
+    def test_respects_snapshot(self, db):
+        db.put(b"k", b"old")
+        snap = db.snapshot()
+        db.put(b"k", b"new")
+        assert db.multi_get([b"k"], snapshot=snap) == {b"k": b"old"}
+        assert db.multi_get([b"k"]) == {b"k": b"new"}
+        db.release_snapshot(snap)
+
+    def test_rejects_non_bytes(self, db):
+        with pytest.raises(Exception):
+            db.multi_get(["not-bytes"])
+
+
+class TestStress:
+    def test_writers_readers_and_background_compaction(self, tmp_path):
+        """N writers + M readers against a real-file store with background
+        compaction: no write may error, every acknowledged write must be
+        readable, and the final catalog must verify."""
+        db = make_concurrent_db(
+            COMPACTION_SELECTIVE, fs=LocalFS(str(tmp_path / "db"))
+        )
+        num_writers, num_readers, per_writer = 3, 2, 250
+        stop = threading.Event()
+        errors = []
+
+        def writer(tid):
+            try:
+                for i in range(per_writer):
+                    key = f"w{tid}-{i:05d}".encode()
+                    db.put(key, key + b"=v" * 10)
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        def reader(tid):
+            try:
+                i = 0
+                while not stop.is_set():
+                    key = f"w{tid % num_writers}-{i % per_writer:05d}".encode()
+                    value = db.get(key)
+                    if value is not None:
+                        assert value == key + b"=v" * 10
+                    if i % 50 == 0:
+                        db.scan(limit=20)
+                    i += 1
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        writers = [
+            threading.Thread(target=writer, args=(t,)) for t in range(num_writers)
+        ]
+        readers = [
+            threading.Thread(target=reader, args=(t,)) for t in range(num_readers)
+        ]
+        for t in writers + readers:
+            t.start()
+        for t in writers:
+            t.join()
+        stop.set()
+        for t in readers:
+            t.join()
+        assert errors == []
+        assert db.wait_for_background(timeout=120)
+
+        for tid in range(num_writers):
+            for i in range(per_writer):
+                key = f"w{tid}-{i:05d}".encode()
+                assert db.get(key) == key + b"=v" * 10
+        db._verify_catalog()
+        db.close()

@@ -52,6 +52,49 @@ class TestWalRecovery:
         assert db2.get(b"b") is None
         db2.close()
 
+    def test_crash_between_wal_rotation_and_flush_replays_both_logs(
+        self, fs, monkeypatch
+    ):
+        """A crash after the WAL rotated but before the flush landed leaves
+        two live logs; recovery must replay both — the frozen memtable's
+        entries live only in the older one."""
+        import repro.core.db as db_module
+
+        db = make_db(fs=fs)
+        db.put(b"frozen1", b"f1")
+        db.put(b"frozen2", b"f2")
+
+        real_flush = db_module.flush_memtable
+        calls = {"n": 0}
+
+        def flaky_flush(*args, **kwargs):
+            """Fail the first flush build (post-freeze, post-rotation)."""
+            if calls["n"] == 0:
+                calls["n"] += 1
+                raise RuntimeError("injected crash during flush")
+            return real_flush(*args, **kwargs)
+
+        monkeypatch.setattr(db_module, "flush_memtable", flaky_flush)
+        with pytest.raises(RuntimeError):
+            db.flush()
+        # The freeze and rotation happened: two live logs on disk.
+        assert len([n for n in fs.list_dir() if n.endswith(".log")]) == 2
+        # More writes land in the new log only.
+        db.put(b"fresh1", b"n1")
+        db.delete(b"frozen2")
+
+        db2 = reopen(fs)  # crash: no close()
+        assert db2.get(b"frozen1") == b"f1"
+        assert db2.get(b"frozen2") is None  # tombstone from the new log wins
+        assert db2.get(b"fresh1") == b"n1"
+        # No duplication: each surviving key appears exactly once in a scan.
+        keys = [key for key, _value in db2.scan()]
+        assert keys == sorted(set(keys))
+        assert set(keys) == {b"frozen1", b"fresh1"}
+        # Both stale logs were replayed and dropped (only the fresh one lives).
+        assert len([n for n in fs.list_dir() if n.endswith(".log")]) == 1
+        db2.close()
+
     def test_double_crash_after_recovery(self, fs):
         db = make_db(fs=fs)
         db.put(b"k1", b"v1")

@@ -45,6 +45,7 @@ EXPECTED_PATHS = {
     "compaction_merge",
     "seq_fill",
     "point_get",
+    "multi_get",
     "scan",
     "full_compaction",
 }
