@@ -74,6 +74,10 @@ def _options(concurrent: bool):
         memtable_size=8 * 1024,
         max_levels=6,
         compaction_workers=4,
+        # Histograms on in both modes (identical overhead per arm, so the
+        # speedup ratio is unaffected) to surface per-op tail latency —
+        # the number group commit and background compaction actually move.
+        latency_histograms=True,
     )
     if concurrent:
         options = options.concurrent_pipeline()
@@ -112,6 +116,7 @@ def _run_scenario(name: str, *, concurrent: bool, threads: int, num_ops: int) ->
             "stall_stops": stats.stall_stops,
             "stall_time_s": round(stats.stall_time_s, 3),
             "flushes": stats.flush_count,
+            "latency": result.latency,
         }
         db.close()
     print(

@@ -29,6 +29,9 @@ multi_get          batched DB.multi_get vs the per-key get loop
 seq_fill           DB.put of a fresh sequential load (WAL + flush + compaction)
 scan               full-range DB iterator drain
 full_compaction    DB.compact_all() on a freshly loaded tree
+traced_point_get   point_get with tracing+histograms enabled vs plain (the
+                   observability overhead gate; also fills the report's
+                   ``latency`` section with p50/p99 per op)
 =================  ==========================================================
 """
 
@@ -49,6 +52,11 @@ if str(ROOT / "src") not in sys.path:
 
 BASELINE_PATH = ROOT / "BENCH_hotpaths.json"
 REGRESSION_TOLERANCE = 0.20
+#: Hard --check ceiling on enabled-observability overhead (traced wall time
+#: over plain wall time on the same op loop).  The engineering target is
+#: 1.05 on a quiet machine; the CI gate is generous because shared runners
+#: add noise that hits the two interleaved arms unevenly.
+OVERHEAD_CEILING = 1.25
 
 
 def _time_best(fn, repeats: int) -> tuple[float, int]:
@@ -75,6 +83,9 @@ class Suite:
         #: true floor, since contention only ever adds time).
         self.micro_repeats = 3 if quick else 25
         self.results: dict[str, dict] = {}
+        #: Per-op tail-latency summaries from the observability arm
+        #: (``{"get": {"count": ..., "p50_ms": ..., "p99_ms": ...}}``).
+        self.latency: dict[str, dict] = {}
 
     def measure(self, name: str, fn, unit: str, reference=None, repeats: int | None = None):
         """Benchmark ``fn`` (and ``reference``, when given) and record it.
@@ -116,7 +127,7 @@ class Suite:
         )
 
     def report(self) -> dict:
-        return {
+        out = {
             "meta": {
                 "python": platform.python_version(),
                 "quick": self.quick,
@@ -124,6 +135,9 @@ class Suite:
             },
             "paths": self.results,
         }
+        if self.latency:
+            out["latency"] = self.latency
+        return out
 
 
 # --------------------------------------------------------------- micro paths
@@ -431,6 +445,60 @@ def bench_db_paths(suite: Suite) -> None:
     )
 
 
+def bench_observability(suite: Suite) -> None:
+    """Enabled-observability overhead on the point-get hot path.
+
+    Two identical trees, one opened plain and one with tracing + latency
+    histograms on, serve the same read-only lookup sequence with the arms
+    interleaved round by round.  ``speedup_vs_reference`` is traced over
+    plain throughput (expected just under 1.0); its reciprocal is stored
+    as ``overhead_vs_plain``, which ``--check`` caps at
+    :data:`OVERHEAD_CEILING`.  The traced arm's histograms also supply the
+    report's ``latency`` section (p50/p99 per op).
+    """
+    from repro.core.db import DB
+    from repro.storage.fs import SimulatedFS
+
+    fill_count = 400 if suite.quick else 4000
+
+    def build(options):
+        db = DB(SimulatedFS(), options, seed=7)
+        keys = _load_keys(db, fill_count)
+        db.compact_all()
+        return db, keys
+
+    plain_db, keys = build(_perf_options())
+    traced_db, _ = build(_perf_options().observability())
+    rng = random.Random(41)
+    lookup_keys = [rng.choice(keys) for _ in range(fill_count)]
+
+    def run_on(db):
+        def inner():
+            for key in lookup_keys:
+                db.get(key)
+            return len(lookup_keys)
+
+        return inner
+
+    suite.measure(
+        "traced_point_get", run_on(traced_db), "get", reference=run_on(plain_db)
+    )
+    entry = suite.results["traced_point_get"]
+    speedup = entry.get("speedup_vs_reference") or 1.0
+    entry["overhead_vs_plain"] = round(1.0 / speedup, 3)
+    print(f"  {'':<18} observability overhead: {entry['overhead_vs_plain']:.3f}x "
+          f"(ceiling {OVERHEAD_CEILING}x)")
+
+    # Puts through the traced arm so the latency section covers the write
+    # path too (after the timed arms, so they do not perturb the ratio).
+    value = b"y" * 100
+    for i in range(min(fill_count, 1000)):
+        traced_db.put(b"obs%020d" % i, value)
+    suite.latency = traced_db.latency.summary()
+    plain_db.close()
+    traced_db.close()
+
+
 # ----------------------------------------------------------------- reporting
 
 
@@ -467,6 +535,12 @@ def check_against_baseline(report: dict, baseline_path: Path) -> int:
             f"  {name:<18} {current:>6.2f}x vs reference"
             f" (baseline {reference:.2f}x){marker}"
         )
+    traced = report["paths"].get("traced_point_get", {})
+    overhead = traced.get("overhead_vs_plain")
+    if overhead is not None and overhead > OVERHEAD_CEILING:
+        failures.append(("traced_point_get(overhead)", overhead))
+        print(f"  observability overhead {overhead:.3f}x exceeds the "
+              f"{OVERHEAD_CEILING}x ceiling  << REGRESSION")
     if failures:
         print(f"\nFAIL: {len(failures)} path(s) regressed more than "
               f"{REGRESSION_TOLERANCE:.0%} vs {baseline_path.name}")
@@ -496,6 +570,7 @@ def main(argv: list[str] | None = None) -> int:
     bench_block_codec(suite)
     bench_merge(suite)
     bench_db_paths(suite)
+    bench_observability(suite)
     report = suite.report()
 
     if args.check:

@@ -32,6 +32,7 @@ from concurrent.futures import Executor
 from heapq import heapreplace
 from typing import Callable
 
+from ..obs.trace import NULL_TRACER
 from ..storage.io_stats import CAT_COMPACTION, IOStats
 
 
@@ -70,16 +71,37 @@ class SubtaskScheduler:
         enabled: bool,
         *,
         executor: Executor | None = None,
+        tracer=NULL_TRACER,
     ):
         self._stats = stats
         self._workers = max(1, workers)
         self._enabled = enabled and workers > 1
         self._executor = executor
+        self._tracer = tracer
         self.last_durations: list[float] = []
         self.last_rebate: float = 0.0
 
+    def _traced(self, subtask: Callable[[], None], index: int, total: int) -> Callable[[], None]:
+        """Wrap one sub-task in a ``compaction.subtask`` span."""
+        tracer = self._tracer
+
+        def run_traced() -> None:
+            tracer.begin("compaction.subtask", "compaction", {"index": index, "of": total})
+            try:
+                subtask()
+            finally:
+                tracer.end("compaction.subtask", "compaction")
+
+        return run_traced
+
     def run(self, subtasks: list[Callable[[], None]]) -> None:
         """Execute every sub-task; rebate serial-minus-makespan time."""
+        if self._tracer.enabled:
+            total = len(subtasks)
+            subtasks = [
+                self._traced(subtask, index, total)
+                for index, subtask in enumerate(subtasks)
+            ]
         if self._executor is not None and len(subtasks) > 1:
             self.last_durations = []
             self.last_rebate = 0.0

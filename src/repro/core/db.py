@@ -52,6 +52,8 @@ from ..keys import ComparableKey, seek_comparable
 from ..memtable.memtable import MemTable
 from ..memtable.wal import WalWriter, read_wal
 from ..metrics.stats import CompactionEvent, DBStats
+from ..obs.histogram import LatencyRegistry
+from ..obs.trace import NULL_TRACER, Tracer
 from ..options import (
     COMPACTION_BLOCK,
     COMPACTION_SELECTIVE,
@@ -130,6 +132,27 @@ class DB:
         self.options = options or Options()
         self.options.validate()
         self.fs = fs if fs is not None else SimulatedFS()
+        # Observability (DESIGN.md §8): both surfaces are inert by default —
+        # the null tracer costs one branch per instrumented site, and a None
+        # latency registry skips the clock reads entirely.
+        if self.options.tracing:
+            self.tracer = Tracer(
+                capacity=self.options.trace_buffer_capacity,
+                sim_clock=lambda: self.fs.stats.sim_time_s,
+            )
+            self.fs.tracer = self.tracer
+        else:
+            self.tracer = NULL_TRACER
+        self.latency: LatencyRegistry | None = (
+            LatencyRegistry() if self.options.latency_histograms else None
+        )
+        if self.latency is not None:
+            # Cache the per-op histograms: the registry's name lookup is
+            # measurable on the get/put hot paths.
+            self._hist_put = self.latency.histogram("put")
+            self._hist_get = self.latency.histogram("get")
+            self._hist_multi_get = self.latency.histogram("multi_get")
+            self._hist_scan = self.latency.histogram("scan")
         self.stats = DBStats()
         self.stats.ensure_levels(self.options.max_levels)
         self.block_cache = BlockCache(self.options.block_cache_capacity)
@@ -178,7 +201,9 @@ class DB:
         # Started last: the worker must only ever see a fully-recovered DB.
         self._scheduler: BackgroundScheduler | None = None
         if self.options.background_compaction:
-            self._scheduler = BackgroundScheduler(self._background_work)
+            self._scheduler = BackgroundScheduler(
+                self._background_work, tracer=self.tracer
+            )
 
     # ------------------------------------------------------------------ setup
 
@@ -339,17 +364,29 @@ class DB:
         self._check_open()
         if len(batch) == 0:
             return
-        if self.options.group_commit:
-            self._write_grouped(batch)
-        elif self._scheduler is not None:
-            self._write_concurrent(batch)
-        else:
-            with self._lock:
-                self._write_locked(batch)
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.begin("write", "write", {"n": len(batch)})
+        start = time.perf_counter() if self.latency is not None else 0.0
+        try:
+            if self.options.group_commit:
+                self._write_grouped(batch)
+            elif self._scheduler is not None:
+                self._write_concurrent(batch)
+            else:
+                with self._lock:
+                    self._write_locked(batch)
+        finally:
+            if self.latency is not None:
+                self._hist_put.record(time.perf_counter() - start)
+            if tracer.enabled:
+                tracer.end("write", "write")
 
     def _write_locked(self, batch: WriteBatch) -> None:
         if len(self.version.files_at(0)) >= self.options.level0_slowdown_writes_trigger:
             self.stats.stall_events += 1
+            if self.tracer.enabled:
+                self.tracer.instant("stall", "write", {"kind": "slowdown"})
         self._apply_batch_locked(batch)
         self._maybe_flush()
 
@@ -404,6 +441,9 @@ class DB:
                     break
                 group.append(follower)
         error: BaseException | None = None
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.begin("group_commit", "write", {"writers": len(group), "bytes": size})
         try:
             if self._scheduler is not None:
                 self._scheduler.raise_if_failed()
@@ -416,6 +456,9 @@ class DB:
                     self._maybe_flush()
         except BaseException as exc:  # noqa: BLE001 - delivered to every member
             error = exc
+        finally:
+            if tracer.enabled:
+                tracer.end("group_commit", "write")
         with cv:
             for member in group:
                 popped = self._writers.popleft()
@@ -456,8 +499,11 @@ class DB:
         if len(self.version.files_at(0)) < opts.level0_slowdown_writes_trigger:
             return
         stats = self.stats
+        tracer = self.tracer
         self._scheduler.wake()
         if len(self.version.files_at(0)) >= opts.level0_stop_writes_trigger:
+            if tracer.enabled:
+                tracer.begin("stall", "write", {"kind": "stop"})
             start = time.monotonic()
             deadline = start + opts.level0_stop_max_wait_s
             with self._lock:
@@ -468,15 +514,20 @@ class DB:
                     and time.monotonic() < deadline
                 ):
                     self._l0_cv.wait(timeout=0.05)
-            stats.stall_events += 1
-            stats.stall_stops += 1
-            stats.stall_time_s += time.monotonic() - start
+            # Throttled writers run OUTSIDE the engine lock, so these
+            # counters go through the dedicated stats lock (see DBStats).
+            stats.record_stall(stop=True, seconds=time.monotonic() - start)
+            if tracer.enabled:
+                tracer.end("stall", "write")
         else:
+            if tracer.enabled:
+                tracer.begin("stall", "write", {"kind": "slowdown"})
             sleep = opts.level0_slowdown_sleep_s
             if sleep > 0.0:
                 time.sleep(sleep)
-            stats.stall_events += 1
-            stats.stall_time_s += sleep
+            stats.record_stall(seconds=sleep)
+            if tracer.enabled:
+                tracer.end("stall", "write")
 
     def _maybe_flush(self) -> None:
         if self._memtable.approximate_memory_usage() >= self.options.memtable_size:
@@ -491,6 +542,8 @@ class DB:
         if self._memtable.approximate_memory_usage() < self.options.memtable_size:
             return
         if self._immutable is not None:
+            if self.tracer.enabled:
+                self.tracer.begin("stall", "write", {"kind": "memtable"})
             self._scheduler.wake()
             start = time.monotonic()
             while (
@@ -500,8 +553,9 @@ class DB:
                 and time.monotonic() - start < 60.0
             ):
                 self._flush_cv.wait(timeout=0.05)
-            self.stats.stall_events += 1
-            self.stats.stall_time_s += time.monotonic() - start
+            self.stats.record_stall(seconds=time.monotonic() - start)
+            if self.tracer.enabled:
+                self.tracer.end("stall", "write")
             if self._immutable is not None:
                 return  # flusher wedged or errored; keep accepting writes
         self._pending_log = self._freeze_locked()
@@ -560,13 +614,28 @@ class DB:
         thread that commits the flush."""
         immutable = self._immutable
         file_number = self.new_file_number()
-        return flush_memtable(
-            self.fs, self.options, immutable, file_number, self.snapshot_boundaries()
-        )
+        tracer = self.tracer
+        if not tracer.enabled:
+            return flush_memtable(
+                self.fs, self.options, immutable, file_number, self.snapshot_boundaries()
+            )
+        tracer.begin("flush.build", "flush", {"file": file_number, "entries": len(immutable)})
+        try:
+            meta = flush_memtable(
+                self.fs, self.options, immutable, file_number, self.snapshot_boundaries()
+            )
+        finally:
+            tracer.end("flush.build", "flush")
+        return meta
 
     def _commit_flush_locked(
         self, meta: FileMetadata | None, old_log: str | None
     ) -> FileMetadata | None:
+        if self.tracer.enabled and meta is not None:
+            self.tracer.instant(
+                "flush.commit", "flush",
+                {"file": meta.file_number, "bytes": meta.file_size},
+            )
         self._immutable = None
         if meta is not None:
             edit = VersionEdit(
@@ -607,10 +676,31 @@ class DB:
 
     # ------------------------------------------------------------------ compaction
 
+    def _pick_compaction(self) -> CompactionTask | None:
+        """Ask the picker for due work, traced as a ``compaction.pick`` span."""
+        tracer = self.tracer
+        if not tracer.enabled:
+            return self.picker.pick(self.version)
+        tracer.begin("compaction.pick", "compaction")
+        task = self.picker.pick(self.version)
+        if task is None:
+            tracer.end("compaction.pick", "compaction", {"picked": False})
+        else:
+            tracer.end(
+                "compaction.pick", "compaction",
+                {
+                    "picked": True,
+                    "parent_level": task.parent_level,
+                    "child_level": task.child_level,
+                    "reason": task.reason,
+                },
+            )
+        return task
+
     def _run_due_compactions(self) -> None:
         """Run compactions until every level is within its trigger."""
         while True:
-            task = self.picker.pick(self.version)
+            task = self._pick_compaction()
             if task is None:
                 break
             self.run_compaction(task)
@@ -654,7 +744,7 @@ class DB:
             with self._lock:
                 if self._closed:
                     return
-                task = self.picker.pick(self.version)
+                task = self._pick_compaction()
             if task is None:
                 return
             result = self._execute_compaction(task)
@@ -723,6 +813,26 @@ class DB:
         background worker this runs with the engine lock released — it only
         reads the version (stable between pick and commit) and writes fresh
         files nothing else references yet."""
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.begin(
+                "compaction.execute", "compaction",
+                {
+                    "parent_level": task.parent_level,
+                    "child_level": task.child_level,
+                    "reason": task.reason,
+                    "parent_files": len(task.parent_files),
+                    "child_files": len(task.child_files),
+                },
+            )
+            try:
+                result = self._execute_compaction_inner(task)
+            finally:
+                tracer.end("compaction.execute", "compaction")
+            return result
+        return self._execute_compaction_inner(task)
+
+    def _execute_compaction_inner(self, task: CompactionTask) -> CompactionResult:
         diverted = self._maybe_divert_task(task)
         if diverted is not None:
             result = diverted
@@ -743,6 +853,7 @@ class DB:
                     self.options.compaction_workers,
                     self.options.parallel_merging,
                     executor=self._subtask_executor,
+                    tracer=self.tracer,
                 )
                 result = run_selective_compaction(self, task, scheduler)
             else:  # pragma: no cover - options.validate() rejects this
@@ -762,6 +873,17 @@ class DB:
     ) -> CompactionResult:
         """The short half, always under the engine lock: install the version
         edit, retire replaced files, record stats."""
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "compaction.commit", "compaction",
+                {
+                    "parent_level": task.parent_level,
+                    "child_level": task.child_level,
+                    "kind": result.kind,
+                    "bytes_written": result.bytes_written,
+                    "output_files": result.output_files,
+                },
+            )
         self.picker.advance_pointer(task)
         result.edit.compact_pointers.append(
             (task.parent_level, self.picker.compact_pointer[task.parent_level])
@@ -925,8 +1047,15 @@ class DB:
             if not isinstance(key, (bytes, bytearray)):
                 raise InvalidArgumentError("keys must be bytes")
             checked.append(bytes(key))
-        with self._lock:
-            return self._multi_get_locked(checked, snapshot)
+        if self.latency is None:
+            with self._lock:
+                return self._multi_get_locked(checked, snapshot)
+        start = time.perf_counter()
+        try:
+            with self._lock:
+                return self._multi_get_locked(checked, snapshot)
+        finally:
+            self._hist_multi_get.record(time.perf_counter() - start)
 
     def _multi_get_locked(
         self, keys: list[bytes], snapshot: Snapshot | None
@@ -1088,8 +1217,15 @@ class DB:
         if not isinstance(key, (bytes, bytearray)):
             raise InvalidArgumentError("keys must be bytes")
         key = bytes(key)
-        with self._lock:
-            return self._get_locked(key, default, snapshot)
+        if self.latency is None:
+            with self._lock:
+                return self._get_locked(key, default, snapshot)
+        start = time.perf_counter()
+        try:
+            with self._lock:
+                return self._get_locked(key, default, snapshot)
+        finally:
+            self._hist_get.record(time.perf_counter() - start)
 
     def _get_locked(
         self, key: bytes, default: bytes | None, snapshot: Snapshot | None
@@ -1356,13 +1492,18 @@ class DB:
         snapshot: Snapshot | None = None,
     ) -> list[tuple[bytes, bytes]]:
         """Materialized range scan: up to ``limit`` live pairs in [start, end)."""
+        clock_start = time.perf_counter() if self.latency is not None else 0.0
         results: list[tuple[bytes, bytes]] = []
+        # The iterator drains with the engine lock released, so the entry
+        # tally is accumulated locally and added through the stats lock.
         with self.iterator(start, end, snapshot=snapshot) as it:
             for key, value in it:
                 results.append((key, value))
-                self.stats.scan_entries += 1
                 if limit is not None and len(results) >= limit:
                     break
+        self.stats.count_scan_entries(len(results))
+        if self.latency is not None:
+            self._hist_scan.record(time.perf_counter() - clock_start)
         return results
 
     def _on_flush(self, meta: FileMetadata) -> None:
@@ -1417,6 +1558,33 @@ class DB:
             f"stalls: events={s.stall_events} stops={s.stall_stops} "
             f"stall-time={s.stall_time_s:.3f} s"
         )
+        io = self.io_stats
+        per_cat = ", ".join(
+            f"{name}={counters.bytes_written + counters.bytes_read}"
+            for name, counters in sorted(io.per_category.items())
+            if counters.bytes_written or counters.bytes_read
+        )
+        if per_cat:
+            lines.append(f"io bytes by category: {per_cat}")
+        if self.latency is not None:
+            lines.append("")
+            lines.append("latency (ms):        count       p50       p99      p999       max")
+            for name, snap in self.latency.snapshot().items():
+                if snap.count == 0:
+                    continue
+                lines.append(
+                    f"  {name:<12} {snap.count:>12,d} "
+                    f"{snap.quantile(0.5) * 1e3:>9.4f} "
+                    f"{snap.quantile(0.99) * 1e3:>9.4f} "
+                    f"{snap.quantile(0.999) * 1e3:>9.4f} "
+                    f"{snap.max * 1e3:>9.4f}"
+                )
+        if self.tracer.enabled:
+            lines.append(
+                f"tracing: {len(self.tracer)} events buffered "
+                f"({self.tracer.events_recorded} recorded, "
+                f"capacity {self.tracer.capacity})"
+            )
         return "\n".join(lines)
 
     def close(self) -> None:

@@ -31,6 +31,8 @@ from __future__ import annotations
 import threading
 from typing import Callable
 
+from ..obs.trace import NULL_TRACER
+
 
 class BackgroundScheduler:
     """One daemon worker thread servicing flush + compaction rounds.
@@ -38,10 +40,20 @@ class BackgroundScheduler:
     ``work_fn`` is called with no arguments whenever work is signalled; it
     must loop internally until nothing is due, and check :attr:`stopping`
     between units of work so close() stays prompt.
+
+    ``tracer`` (optional) records one ``bg.round`` span per worker round,
+    which is what makes background work visible as its own timeline lane.
     """
 
-    def __init__(self, work_fn: Callable[[], None], *, name: str = "repro-background"):
+    def __init__(
+        self,
+        work_fn: Callable[[], None],
+        *,
+        name: str = "repro-background",
+        tracer=NULL_TRACER,
+    ):
         self._work_fn = work_fn
+        self._tracer = tracer
         self._cv = threading.Condition()
         self._work_due = False
         self._idle = True
@@ -136,6 +148,9 @@ class BackgroundScheduler:
                     return
                 self._work_due = False
                 self._idle = False
+            tracer = self._tracer
+            if tracer.enabled:
+                tracer.begin("bg.round", "background")
             try:
                 self._work_fn()
             except BaseException as exc:  # noqa: BLE001 - stored, re-raised on write
@@ -144,3 +159,6 @@ class BackgroundScheduler:
                     self._idle = True
                     self._cv.notify_all()
                 return
+            finally:
+                if tracer.enabled:
+                    tracer.end("bg.round", "background")

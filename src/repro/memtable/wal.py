@@ -29,6 +29,7 @@ class WalWriter:
     def __init__(self, fs: FileSystem, name: str):
         self._file: WritableFile = fs.create_file(name, category=CAT_WAL)
         self._writer = BufferWriter()
+        self._tracer = fs.tracer
         self.name = name
         #: Records appended (group commit coalesces many batches per append,
         #: so ``records_written`` can exceed the file's append count).
@@ -62,7 +63,14 @@ class WalWriter:
             writer.fixed32(crc32c(payload))
             writer.length_prefixed(payload)
         self.records_written += len(payloads)
-        self._file.append(writer.getvalue(), category=CAT_WAL)
+        framed = writer.getvalue()
+        if self._tracer.enabled:
+            # One marker per coalesced group: the timeline's evidence that
+            # group commit amortized N records into one device append.
+            self._tracer.instant(
+                "wal.group", "wal", {"records": len(payloads), "bytes": len(framed)}
+            )
+        self._file.append(framed, category=CAT_WAL)
 
     def size(self) -> int:
         return self._file.size()

@@ -8,6 +8,7 @@ every number the paper's figures report.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 
@@ -27,7 +28,21 @@ class CompactionEvent:
 
 @dataclass
 class DBStats:
-    """Logical counters for one DB instance."""
+    """Logical counters for one DB instance.
+
+    Thread-safety contract (audited for the concurrent pipeline): most
+    counters are only updated with the engine lock held — the write path,
+    read path, and the background worker's commit step all run under it,
+    so their plain ``+=`` updates never race.  The exceptions are the
+    *stall* counters (updated by throttled writers that deliberately do
+    not hold the engine lock while sleeping/waiting) and the *scan*
+    tallies (updated while an iterator is drained, which happens with the
+    lock released).  Those sites go through :meth:`record_stall` /
+    :meth:`count_scan_entries`, which serialize on a dedicated stats lock
+    so concurrent increments sum exactly (a Python ``+=`` on an attribute
+    is read-modify-write across several bytecodes and CAN drop updates
+    under free-threading or an ill-timed GIL switch).
+    """
 
     # write path
     user_bytes_written: int = 0
@@ -76,6 +91,29 @@ class DBStats:
     events: list[CompactionEvent] = field(default_factory=list)
     #: Peak total file bytes observed (space-amplification numerator).
     max_space_bytes: int = 0
+
+    #: Guards the counters updated outside the engine lock (stalls, scan
+    #: tallies).  Excluded from comparison/repr: it is plumbing, not data.
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    # -- lock-guarded updates (callers without the engine lock) --------------
+
+    def record_stall(self, *, stop: bool = False, seconds: float = 0.0) -> None:
+        """Count one write stall (optionally a hard stop) and its duration.
+        Safe to call without the engine lock."""
+        with self._lock:
+            self.stall_events += 1
+            if stop:
+                self.stall_stops += 1
+            self.stall_time_s += seconds
+
+    def count_scan_entries(self, n: int) -> None:
+        """Add ``n`` scanned entries.  Safe to call without the engine lock
+        (scans drain iterators with the lock released)."""
+        with self._lock:
+            self.scan_entries += n
 
     def ensure_levels(self, num_levels: int) -> None:
         while len(self.per_level_write_bytes) < num_levels:

@@ -1,0 +1,119 @@
+"""Prometheus text-format exporter over the engine's stats registry.
+
+:func:`render_prometheus` renders one scrape body (text exposition format
+v0.0.4) from a live DB: every numeric :class:`~repro.metrics.stats.DBStats`
+counter, the per-level write/size series as labeled gauges, the
+:class:`~repro.storage.io_stats.IOStats` totals and per-category
+breakdown, block-cache hit counters, and — when latency histograms are
+enabled — one Prometheus histogram per operation with cumulative
+``_bucket{le=...}`` counts over the shared log-scale bounds.
+
+The exporter only *reads*; it takes the engine lock briefly to get a
+consistent view of the version (level sizes) but copies histograms via
+their own locks.  No HTTP server is included — callers embed the body in
+whatever endpoint they already serve.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from .histogram import BOUNDS
+
+_PREFIX = "repro"
+
+#: DBStats fields exported as counters (monotonic); everything else
+#: numeric is exported as a gauge.
+_GAUGE_FIELDS = {"max_space_bytes"}
+
+
+def _sanitize(name: str) -> str:
+    return name.replace(".", "_").replace("-", "_")
+
+
+def render_prometheus(db) -> str:
+    """One Prometheus scrape body for ``db`` (see module docstring)."""
+    lines: list[str] = []
+
+    def emit(name: str, value, *, kind: str = "counter", labels: str = "", help_: str = "") -> None:
+        if help_:
+            lines.append(f"# HELP {name} {help_}")
+        lines.append(f"# TYPE {name} {kind}")
+        lines.append(f"{name}{labels} {value}")
+
+    # -- DBStats scalars ---------------------------------------------------
+    stats = db.stats
+    for field in dataclasses.fields(stats):
+        value = getattr(stats, field.name)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            continue
+        kind = "gauge" if field.name in _GAUGE_FIELDS else "counter"
+        emit(f"{_PREFIX}_{field.name}", value, kind=kind)
+    emit(
+        f"{_PREFIX}_write_amplification",
+        round(stats.write_amplification(), 6),
+        kind="gauge",
+        help_="SSTable bytes written / user bytes written",
+    )
+
+    # -- per-level series --------------------------------------------------
+    name = f"{_PREFIX}_level_write_bytes"
+    lines.append(f"# TYPE {name} counter")
+    for level, nbytes in enumerate(stats.per_level_write_bytes):
+        lines.append(f'{name}{{level="{level}"}} {nbytes}')
+    for metric, getter in (
+        ("level_files", lambda lv: len(db.version.files_at(lv))),
+        ("level_valid_bytes", db.version.level_valid_bytes),
+        ("level_obsolete_bytes", db.version.level_obsolete_bytes),
+    ):
+        name = f"{_PREFIX}_{metric}"
+        lines.append(f"# TYPE {name} gauge")
+        for level in range(db.version.num_levels):
+            lines.append(f'{name}{{level="{level}"}} {getter(level)}')
+
+    # -- IOStats -----------------------------------------------------------
+    io = db.io_stats
+    for field_name in (
+        "bytes_written", "bytes_read", "write_ops", "read_ops",
+        "random_reads", "sequential_reads", "files_created", "files_deleted",
+    ):
+        emit(f"{_PREFIX}_io_{field_name}", getattr(io, field_name))
+    emit(f"{_PREFIX}_io_sim_time_seconds", round(io.sim_time_s, 9))
+    name = f"{_PREFIX}_io_category_bytes"
+    lines.append(f"# TYPE {name} counter")
+    for category in sorted(io.per_category):
+        counters = io.per_category[category]
+        safe = _sanitize(category)
+        lines.append(f'{name}{{category="{safe}",dir="write"}} {counters.bytes_written}')
+        lines.append(f'{name}{{category="{safe}",dir="read"}} {counters.bytes_read}')
+
+    # -- block cache -------------------------------------------------------
+    cache = getattr(db, "block_cache", None)
+    if cache is not None:
+        emit(f"{_PREFIX}_block_cache_hits", cache.stats.hits)
+        emit(f"{_PREFIX}_block_cache_misses", cache.stats.misses)
+
+    # -- latency histograms ------------------------------------------------
+    registry = getattr(db, "latency", None)
+    if registry is not None:
+        for op, snap in registry.snapshot().items():
+            name = f"{_PREFIX}_{_sanitize(op)}_latency_seconds"
+            lines.append(f"# TYPE {name} histogram")
+            cumulative = 0
+            for index, bucket_count in enumerate(snap.counts):
+                if not bucket_count:
+                    continue
+                cumulative += bucket_count
+                le = f"{BOUNDS[index]:.9g}" if index < len(BOUNDS) else "+Inf"
+                lines.append(f'{name}_bucket{{le="{le}"}} {cumulative}')
+            lines.append(f'{name}_bucket{{le="+Inf"}} {snap.count}')
+            lines.append(f"{name}_sum {round(snap.total, 9)}")
+            lines.append(f"{name}_count {snap.count}")
+
+    # -- tracer ------------------------------------------------------------
+    tracer = getattr(db, "tracer", None)
+    if tracer is not None and tracer.enabled:
+        emit(f"{_PREFIX}_trace_events_recorded", tracer.events_recorded)
+        emit(f"{_PREFIX}_trace_events_buffered", len(tracer), kind="gauge")
+
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,220 @@
+"""Compaction-timeline reconstruction and rendering over exported traces.
+
+:func:`build_spans` pairs a trace's ``B``/``E`` events (per thread, per
+name, innermost-first) and unrolls pre-timed ``X`` events into
+:class:`Span` records; :func:`render_timeline` draws them as an ASCII
+Gantt chart, one lane per span kind — flushes, each compaction level pair
+(``compact L1→L2``), stalls, group commits — over the trace's wall-clock
+range, with per-lane counts and busy time.  :func:`spans_to_json` is the
+machine-readable form the ``--json`` flag of ``repro.tools timeline``
+prints.
+
+Instant events are kept as zero-duration spans so stall markers from the
+synchronous engine (which counts stalls but never sleeps) still show up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import IO
+
+from .trace import PHASE_BEGIN, PHASE_COMPLETE, PHASE_END, PHASE_INSTANT, TraceEvent, load_jsonl
+
+#: Lanes drawn for these name prefixes even when high-volume fs events are
+#: present; everything else is aggregated per name.
+_DEFAULT_HIDDEN = ("fs.read", "fs.write")
+
+
+@dataclass
+class Span:
+    """One reconstructed interval (or instant, when start == end)."""
+
+    name: str
+    category: str
+    thread: str
+    start: float
+    end: float
+    sim_start: float
+    sim_end: float
+    args: dict | None
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def lane(self) -> str:
+        """The timeline row this span belongs to."""
+        if self.name.startswith("compaction") and self.args:
+            parent = self.args.get("parent_level")
+            child = self.args.get("child_level")
+            if parent is not None and child is not None:
+                stage = self.name.split(".", 1)[1] if "." in self.name else self.name
+                label = "flush" if parent == -1 else f"L{parent}>L{child}"
+                return f"compact {label} {stage}"
+        if self.name.startswith("flush"):
+            return "flush"
+        if self.name.startswith("stall"):
+            kind = (self.args or {}).get("kind")
+            return f"stall ({kind})" if kind else "stall"
+        return self.name
+
+
+def load_events(target: str | IO[str]) -> list[TraceEvent]:
+    """Read a JSONL trace (path or file object)."""
+    return load_jsonl(target)
+
+
+def build_spans(events: list[TraceEvent]) -> list[Span]:
+    """Pair begin/end events and unroll completes/instants into spans.
+
+    Unmatched begins (the trace ended mid-span, or the ring dropped the
+    end) close at the last timestamp seen; unmatched ends (the ring
+    dropped the begin) are dropped.
+    """
+    spans: list[Span] = []
+    open_stacks: dict[tuple[str, str], list[TraceEvent]] = {}
+    last_ts = max((e.ts for e in events), default=0.0)
+    last_sim = max((e.sim_ts for e in events), default=0.0)
+    for event in events:
+        key = (event.thread, event.name)
+        if event.phase == PHASE_BEGIN:
+            open_stacks.setdefault(key, []).append(event)
+        elif event.phase == PHASE_END:
+            stack = open_stacks.get(key)
+            if not stack:
+                continue  # begin fell off the ring
+            begin = stack.pop()
+            spans.append(
+                Span(
+                    name=event.name,
+                    category=begin.category or event.category,
+                    thread=event.thread,
+                    start=begin.ts,
+                    end=event.ts,
+                    sim_start=begin.sim_ts,
+                    sim_end=event.sim_ts,
+                    args={**(begin.args or {}), **(event.args or {})} or None,
+                )
+            )
+        elif event.phase == PHASE_COMPLETE:
+            spans.append(
+                Span(
+                    name=event.name,
+                    category=event.category,
+                    thread=event.thread,
+                    start=event.ts - event.dur,
+                    end=event.ts,
+                    sim_start=event.sim_ts - event.sim_dur,
+                    sim_end=event.sim_ts,
+                    args=event.args,
+                )
+            )
+        elif event.phase == PHASE_INSTANT:
+            spans.append(
+                Span(
+                    name=event.name,
+                    category=event.category,
+                    thread=event.thread,
+                    start=event.ts,
+                    end=event.ts,
+                    sim_start=event.sim_ts,
+                    sim_end=event.sim_ts,
+                    args=event.args,
+                )
+            )
+    for (thread, name), stack in open_stacks.items():
+        for begin in stack:
+            spans.append(
+                Span(
+                    name=name,
+                    category=begin.category,
+                    thread=thread,
+                    start=begin.ts,
+                    end=last_ts,
+                    sim_start=begin.sim_ts,
+                    sim_end=last_sim,
+                    args=begin.args,
+                )
+            )
+    spans.sort(key=lambda s: (s.start, s.end))
+    return spans
+
+
+def spans_to_json(spans: list[Span]) -> list[dict]:
+    """Machine-readable span list (``repro.tools timeline --json``)."""
+    return [
+        {
+            "lane": span.lane(),
+            "name": span.name,
+            "cat": span.category,
+            "tid": span.thread,
+            "start": round(span.start, 9),
+            "end": round(span.end, 9),
+            "dur": round(span.duration, 9),
+            "sim_start": round(span.sim_start, 9),
+            "sim_end": round(span.sim_end, 9),
+            "args": span.args,
+        }
+        for span in spans
+    ]
+
+
+def render_timeline(
+    spans: list[Span],
+    *,
+    width: int = 72,
+    include_fs: bool = False,
+) -> str:
+    """ASCII Gantt chart: one lane per span kind over wall-clock time.
+
+    ``include_fs`` adds the per-I/O ``fs.read``/``fs.write`` lanes, which
+    are usually too dense to be useful at terminal width.
+    """
+    if not include_fs:
+        spans = [s for s in spans if not s.name.startswith(_DEFAULT_HIDDEN)]
+    if not spans:
+        return "<empty trace: no spans>"
+
+    t0 = min(s.start for s in spans)
+    t1 = max(s.end for s in spans)
+    extent = max(t1 - t0, 1e-12)
+    scale = width / extent
+
+    lanes: dict[str, list[Span]] = {}
+    for span in spans:
+        lanes.setdefault(span.lane(), []).append(span)
+
+    label_width = max(len(label) for label in lanes) + 1
+    lines = [
+        f"timeline: {len(spans)} spans over {extent * 1e3:.3f} ms wall "
+        f"({len(lanes)} lanes)",
+        f"{'lane'.ljust(label_width)}|{'-' * width}|  count    busy(ms)",
+    ]
+
+    def lane_order(item: tuple[str, list[Span]]) -> tuple[float, str]:
+        return (min(s.start for s in item[1]), item[0])
+
+    for label, lane_spans in sorted(lanes.items(), key=lane_order):
+        row = [" "] * width
+        busy = 0.0
+        for span in lane_spans:
+            busy += span.duration
+            lo = int((span.start - t0) * scale)
+            hi = int((span.end - t0) * scale)
+            lo = min(lo, width - 1)
+            hi = min(hi, width - 1)
+            if span.duration == 0.0:
+                if row[lo] == " ":
+                    row[lo] = "|"  # instant marker
+                continue
+            for cell in range(lo, hi + 1):
+                row[cell] = "#"
+        lines.append(
+            f"{label.ljust(label_width)}|{''.join(row)}|"
+            f"  {len(lane_spans):>5}  {busy * 1e3:>10.3f}"
+        )
+    lines.append(
+        f"{''.ljust(label_width)}|{'-' * width}|  "
+        f"0 ms .. {extent * 1e3:.3f} ms"
+    )
+    return "\n".join(lines)

@@ -22,6 +22,7 @@ import time
 from abc import ABC, abstractmethod
 
 from ..errors import FileSystemError
+from ..obs.trace import NULL_TRACER
 from .device_model import DeviceModel
 from .io_stats import IOStats
 
@@ -46,7 +47,14 @@ class WritableFile:
         self._fs._append(self._name, data)
         cat = category or self._category
         self._fs.stats.record_write(len(data), cat)
-        self._fs.charge_time(self._fs.device.sequential_write_cost(len(data)), cat)
+        cost = self._fs.device.sequential_write_cost(len(data))
+        self._fs.charge_time(cost, cat)
+        tracer = self._fs.tracer
+        if tracer.enabled:
+            tracer.complete(
+                "fs.write", "fs", sim_dur=cost,
+                args={"file": self._name, "bytes": len(data), "category": cat},
+            )
 
     def size(self) -> int:
         return self._fs.file_size(self._name)
@@ -84,9 +92,16 @@ class RandomAccessFile:
         data = self._fs._read(self._name, offset, nbytes)
         self._fs.stats.record_read(len(data), category, random=not sequential)
         if sequential:
-            self._fs.charge_time(self._fs.device.sequential_read_cost(len(data)), category)
+            cost = self._fs.device.sequential_read_cost(len(data))
         else:
-            self._fs.charge_time(self._fs.device.random_read_cost(len(data)), category)
+            cost = self._fs.device.random_read_cost(len(data))
+        self._fs.charge_time(cost, category)
+        tracer = self._fs.tracer
+        if tracer.enabled:
+            tracer.complete(
+                "fs.read", "fs", sim_dur=cost,
+                args={"file": self._name, "bytes": len(data), "category": category},
+            )
         return data
 
     def read_many(
@@ -101,9 +116,19 @@ class RandomAccessFile:
         sizes = [len(c) for c in chunks]
         for n in sizes:
             self._fs.stats.record_read(n, category, random=True)
-        self._fs.charge_time(
-            self._fs.device.parallel_random_read_cost(sizes, concurrency), category
-        )
+        cost = self._fs.device.parallel_random_read_cost(sizes, concurrency)
+        self._fs.charge_time(cost, category)
+        tracer = self._fs.tracer
+        if tracer.enabled:
+            tracer.complete(
+                "fs.read", "fs", sim_dur=cost,
+                args={
+                    "file": self._name,
+                    "bytes": sum(sizes),
+                    "spans": len(spans),
+                    "category": category,
+                },
+            )
         return chunks
 
     def size(self) -> int:
@@ -142,6 +167,11 @@ class FileSystem(ABC):
         self.realtime = realtime
         if realtime < 0:
             raise ValueError("realtime factor must be >= 0")
+        #: Observability hook: the DB installs its tracer here when
+        #: ``Options.tracing`` is on; every fs read/write then records one
+        #: pre-timed ``fs.read``/``fs.write`` event.  The null default makes
+        #: the un-traced cost one attribute load and a branch per I/O.
+        self.tracer = NULL_TRACER
 
     def charge_time(self, seconds: float, category: str) -> None:
         """Charge ``seconds`` of device time, sleeping it in realtime mode."""

@@ -4,18 +4,33 @@ Usage::
 
     python -m repro.tools <store-dir> <file.sst> [--entries [N]]
     python -m repro.tools <store-dir> --manifest
+    python -m repro.tools metrics <store-dir>
+    python -m repro.tools timeline <trace.jsonl> [--json] [--width N] [--fs]
+
+The first two forms are the original table/manifest dumpers; ``metrics``
+replays a store's manifest into a per-level amplification report without
+opening the DB, and ``timeline`` renders an exported trace (JSONL from
+``Tracer.export_jsonl``) as an ASCII Gantt chart or span JSON.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import sys
 
+from ..errors import FileSystemError
+from ..obs.timeline import build_spans, load_events, render_timeline, spans_to_json
 from ..storage.fs import LocalFS
+from .metrics_report import format_store_report
 from .sst_dump import describe_manifest, describe_table, dump_table
+
+#: Subcommand names dispatched before the legacy positional parser.
+_SUBCOMMANDS = ("metrics", "timeline")
 
 
 def build_parser() -> argparse.ArgumentParser:
-    """The CLI argument schema (exposed for tests)."""
+    """The legacy CLI argument schema (exposed for tests)."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.tools",
         description="Inspect BlockDB store files offline.",
@@ -34,8 +49,73 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_metrics_parser() -> argparse.ArgumentParser:
+    """Argument schema for ``metrics`` (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools metrics",
+        description="Per-level storage metrics from manifest replay (no DB open).",
+    )
+    parser.add_argument("store", help="store directory (a LocalFS root)")
+    return parser
+
+
+def build_timeline_parser() -> argparse.ArgumentParser:
+    """Argument schema for ``timeline`` (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools timeline",
+        description="Render an exported JSONL trace as a compaction timeline.",
+    )
+    parser.add_argument("trace", help="trace file (JSONL from Tracer.export_jsonl)")
+    parser.add_argument(
+        "--json", action="store_true", help="print reconstructed spans as JSON"
+    )
+    parser.add_argument(
+        "--width", type=int, default=72, metavar="N", help="chart width in columns"
+    )
+    parser.add_argument(
+        "--fs", action="store_true", help="include per-I/O fs.read/fs.write lanes"
+    )
+    return parser
+
+
+def _run_metrics(argv: list[str]) -> int:
+    args = build_metrics_parser().parse_args(argv)
+    try:
+        report = format_store_report(LocalFS(args.store))
+    except (ValueError, FileSystemError) as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    print(report)
+    return 0
+
+
+def _run_timeline(argv: list[str]) -> int:
+    args = build_timeline_parser().parse_args(argv)
+    try:
+        events = load_events(args.trace)
+    except OSError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    spans = build_spans(events)
+    if args.json:
+        shown = spans if args.fs else [
+            s for s in spans if not s.name.startswith(("fs.read", "fs.write"))
+        ]
+        print(json.dumps(spans_to_json(shown), indent=2))
+    else:
+        print(render_timeline(spans, width=args.width, include_fs=args.fs))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
-    """Entry point: describe a table file or replay the manifest."""
+    """Entry point: dispatch a subcommand, else the legacy dumpers."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "metrics":
+        return _run_metrics(argv[1:])
+    if argv and argv[0] == "timeline":
+        return _run_timeline(argv[1:])
+
     args = build_parser().parse_args(argv)
     fs = LocalFS(args.store)
     if args.manifest:
@@ -56,4 +136,10 @@ def main(argv: list[str] | None = None) -> int:
 
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    try:
+        raise SystemExit(main())
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; the Unix convention is a
+        # quiet exit, not a traceback.
+        sys.stderr.close()
+        raise SystemExit(0)

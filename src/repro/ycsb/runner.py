@@ -55,6 +55,10 @@ class RunResult:
     block_cache_misses: int = 0
     block_cache_hits: int = 0
     throughput_curve: list[ThroughputSample] = field(default_factory=list)
+    #: Per-op latency summaries (``{"get": {"count": ..., "p50_ms": ...}}``)
+    #: for this run's interval.  Populated only when the DB was opened with
+    #: ``Options.latency_histograms``; empty otherwise.
+    latency: dict[str, dict[str, float]] = field(default_factory=dict)
 
     @property
     def ops_per_sim_sec(self) -> float:
@@ -86,6 +90,7 @@ class _Measurer:
         self._io_start = db.io_stats.snapshot()
         self._cache_hits = db.block_cache.stats.hits
         self._cache_misses = db.block_cache.stats.misses
+        self._latency_start = db.latency.snapshot() if db.latency is not None else None
         self._wall_start = time.perf_counter()
 
     def finish(self) -> RunResult:
@@ -100,6 +105,13 @@ class _Measurer:
         r.bytes_read = io.bytes_read
         r.block_cache_hits = self._db.block_cache.stats.hits - self._cache_hits
         r.block_cache_misses = self._db.block_cache.stats.misses - self._cache_misses
+        if self._db.latency is not None:
+            # Interval deltas, so back-to-back runs against one DB each
+            # report only their own tail latencies.
+            deltas = self._db.latency.delta_since(self._latency_start)
+            r.latency = {
+                op: snap.summary() for op, snap in deltas.items() if snap.count
+            }
         return r
 
 

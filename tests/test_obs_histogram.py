@@ -1,0 +1,214 @@
+"""Latency-histogram tests: quantile correctness against exact sample
+quantiles (hypothesis property tests), bucket-boundary edge cases, interval
+deltas, and concurrent-recording exactness."""
+
+from __future__ import annotations
+
+import math
+import statistics
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.histogram import (
+    BOUNDS,
+    FIRST_BOUND,
+    GROWTH,
+    LAST_BOUND,
+    LatencyHistogram,
+    LatencyRegistry,
+)
+
+
+def exact_inclusive_quantile(data: list[float], q: float) -> float:
+    """The sample quantile at fractional rank ``q * (n - 1)`` — the same
+    convention as ``statistics.quantiles(method="inclusive")``."""
+    ordered = sorted(data)
+    rank = q * (len(ordered) - 1)
+    lower = math.floor(rank)
+    fraction = rank - lower
+    value = ordered[lower]
+    if fraction:
+        value += fraction * (ordered[lower + 1] - value)
+    return value
+
+
+def assert_within_bucket_error(estimate: float, truth: float) -> None:
+    """The histogram's accuracy contract: one bucket's relative width
+    (factor :data:`GROWTH`) plus the sub-resolution floor of the first
+    bucket (:data:`FIRST_BOUND` absolute)."""
+    assert truth / GROWTH - FIRST_BOUND - 1e-12 <= estimate
+    assert estimate <= truth * GROWTH + FIRST_BOUND + 1e-12
+
+
+latencies = st.lists(
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=300,
+)
+
+
+@given(data=latencies, q=st.floats(min_value=0.0, max_value=1.0))
+@settings(max_examples=200, deadline=None)
+def test_quantile_matches_exact_within_bucket_width(data, q):
+    hist = LatencyHistogram()
+    for value in data:
+        hist.record(value)
+    assert_within_bucket_error(hist.quantile(q), exact_inclusive_quantile(data, q))
+
+
+@given(data=st.lists(st.floats(min_value=1e-6, max_value=10.0), min_size=4, max_size=200))
+@settings(max_examples=100, deadline=None)
+def test_quartiles_match_statistics_module(data):
+    """Cross-check the rank convention itself against the stdlib."""
+    hist = LatencyHistogram()
+    for value in data:
+        hist.record(value)
+    exact = statistics.quantiles(data, n=4, method="inclusive")
+    for q, truth in zip((0.25, 0.5, 0.75), exact):
+        assert_within_bucket_error(hist.quantile(q), truth)
+
+
+@given(data=latencies)
+@settings(max_examples=100, deadline=None)
+def test_extremes_are_exact(data):
+    """min/max are tracked exactly, not through buckets, so the 0th and
+    100th percentiles have no quantization error at all."""
+    hist = LatencyHistogram()
+    for value in data:
+        hist.record(value)
+    assert hist.quantile(0.0) == pytest.approx(min(data))
+    assert hist.quantile(1.0) == pytest.approx(max(data))
+    snap = hist.snapshot()
+    assert snap.mean == pytest.approx(sum(data) / len(data), rel=1e-9, abs=1e-12)
+
+
+# ------------------------------------------------------------- edge cases
+
+
+def test_bucket_bounds_are_geometric():
+    assert BOUNDS[0] == FIRST_BOUND
+    assert BOUNDS[-1] >= LAST_BOUND
+    for lo, hi in zip(BOUNDS, BOUNDS[1:]):
+        assert hi == pytest.approx(lo * GROWTH)
+
+
+def test_values_exactly_on_bucket_boundaries():
+    """A value equal to a bucket's upper bound must land in that bucket
+    (bisect_left), keeping the estimate within the error contract."""
+    hist = LatencyHistogram()
+    probes = [BOUNDS[0], BOUNDS[1], BOUNDS[10], BOUNDS[100], BOUNDS[-1]]
+    for value in probes:
+        hist.record(value)
+    for q in (0.0, 0.25, 0.5, 0.75, 1.0):
+        assert_within_bucket_error(hist.quantile(q), exact_inclusive_quantile(probes, q))
+
+
+def test_zero_and_subresolution_values():
+    hist = LatencyHistogram()
+    hist.record(0.0)
+    hist.record(FIRST_BOUND / 2)
+    hist.record(FIRST_BOUND)
+    snap = hist.snapshot()
+    assert snap.count == 3
+    assert snap.min == 0.0
+    assert 0.0 <= hist.quantile(0.5) <= FIRST_BOUND
+
+
+def test_negative_latency_clamps_to_zero():
+    hist = LatencyHistogram()
+    hist.record(-1.0)
+    assert hist.snapshot().min == 0.0
+    assert hist.snapshot().total == 0.0
+
+
+def test_overflow_bucket_beyond_last_bound():
+    hist = LatencyHistogram()
+    hist.record(LAST_BOUND * 3)
+    snap = hist.snapshot()
+    assert snap.counts[len(BOUNDS)] == 1  # the overflow slot
+    assert snap.max == LAST_BOUND * 3
+    # The overflow bucket's upper edge is the observed max, so the tail
+    # quantile stays finite and bounded by it.
+    assert BOUNDS[-1] <= hist.quantile(0.99) <= snap.max
+
+
+def test_empty_histogram_quantiles_are_zero():
+    hist = LatencyHistogram()
+    assert hist.quantile(0.5) == 0.0
+    snap = hist.snapshot()
+    assert snap.count == 0 and snap.mean == 0.0
+    assert snap.summary() == {"count": 0}
+
+
+def test_quantile_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        LatencyHistogram().quantile(1.5)
+
+
+def test_summary_keys_and_scaling():
+    hist = LatencyHistogram()
+    for ms in (1, 2, 5, 10):
+        hist.record(ms / 1e3)
+    summary = hist.summary()
+    assert set(summary) == {
+        "count", "mean_ms", "min_ms", "max_ms", "p50_ms", "p95_ms", "p99_ms", "p999_ms",
+    }
+    assert summary["count"] == 4
+    assert summary["min_ms"] == pytest.approx(1.0)
+    assert summary["max_ms"] == pytest.approx(10.0)
+    assert summary["p50_ms"] <= summary["p99_ms"] <= summary["max_ms"]
+
+
+def test_delta_since_isolates_an_interval():
+    hist = LatencyHistogram()
+    for _ in range(100):
+        hist.record(0.001)
+    baseline = hist.snapshot()
+    for _ in range(50):
+        hist.record(0.1)
+    delta = hist.snapshot().delta_since(baseline)
+    assert delta.count == 50
+    assert delta.total == pytest.approx(50 * 0.1)
+    # The interval contains only ~100ms samples; its median must be near
+    # 100ms even though the full histogram's median is 1ms.
+    assert_within_bucket_error(delta.quantile(0.5), 0.1)
+
+
+def test_registry_records_and_summarizes():
+    registry = LatencyRegistry()
+    registry.record("get", 0.002)
+    registry.record("get", 0.004)
+    registry.record("put", 0.001)
+    registry.histogram("scan")  # registered but never recorded
+    assert registry.names() == ["get", "put", "scan"]
+    summary = registry.summary()
+    assert set(summary) == {"get", "put"}  # zero-count ops omitted
+    assert summary["get"]["count"] == 2
+    deltas = registry.delta_since(registry.snapshot())
+    assert all(snap.count == 0 for snap in deltas.values())
+
+
+def test_concurrent_recording_loses_nothing():
+    """Eight threads hammering one histogram: every observation lands
+    (the per-histogram lock makes count/total/bucket updates exact)."""
+    hist = LatencyHistogram()
+    per_thread = 2000
+    threads = 8
+
+    def worker(tid: int) -> None:
+        for i in range(per_thread):
+            hist.record((tid + 1) * 1e-5)
+
+    workers = [threading.Thread(target=worker, args=(t,)) for t in range(threads)]
+    for w in workers:
+        w.start()
+    for w in workers:
+        w.join()
+    snap = hist.snapshot()
+    assert snap.count == threads * per_thread
+    assert sum(snap.counts) == threads * per_thread
+    expected_total = sum((t + 1) * 1e-5 * per_thread for t in range(threads))
+    assert snap.total == pytest.approx(expected_total)

@@ -1,0 +1,246 @@
+"""Tracer unit tests: recording, the ring bound, exports, and the null
+tracer's do-nothing contract (DESIGN.md §8)."""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+
+import pytest
+
+from repro.obs.timeline import Span, build_spans, load_events, render_timeline, spans_to_json
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer, load_jsonl
+
+
+def test_begin_end_records_two_events():
+    tracer = Tracer()
+    tracer.begin("flush.build", "flush", {"file": 7})
+    tracer.end("flush.build", "flush")
+    events = tracer.events()
+    assert [e.phase for e in events] == ["B", "E"]
+    assert events[0].name == "flush.build"
+    assert events[0].args == {"file": 7}
+    assert events[1].ts >= events[0].ts
+    assert tracer.events_recorded == 2
+
+
+def test_timestamps_use_wall_and_sim_clocks():
+    sim = {"now": 2.5}
+    tracer = Tracer(sim_clock=lambda: sim["now"])
+    tracer.instant("stall", "write")
+    sim["now"] = 4.0
+    tracer.instant("stall", "write")
+    first, second = tracer.events()
+    assert first.sim_ts == 2.5
+    assert second.sim_ts == 4.0
+    assert second.ts >= first.ts >= 0.0
+
+
+def test_complete_event_carries_durations():
+    tracer = Tracer(sim_clock=lambda: 9.0)
+    tracer.complete("fs.read", "fs", dur=0.25, sim_dur=0.5, args={"bytes": 10})
+    (event,) = tracer.events()
+    assert event.phase == "X"
+    assert event.dur == 0.25
+    assert event.sim_dur == 0.5
+
+
+def test_ring_drops_oldest_beyond_capacity():
+    tracer = Tracer(capacity=16)
+    for i in range(100):
+        tracer.instant("e", "t", {"i": i})
+    events = tracer.events()
+    assert len(events) == 16
+    assert len(tracer) == 16
+    # The survivors are the newest 16, oldest first.
+    assert [e.args["i"] for e in events] == list(range(84, 100))
+    assert tracer.events_recorded == 100
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        Tracer(capacity=0)
+
+
+def test_span_context_manager_pairs_begin_end():
+    tracer = Tracer()
+    with tracer.span("compaction.execute", "compaction"):
+        tracer.instant("inner", "t")
+    phases = [e.phase for e in tracer.events()]
+    assert phases == ["B", "i", "E"]
+
+
+def test_thread_names_recorded_per_thread():
+    tracer = Tracer()
+    tracer.instant("main-side", "t")
+
+    def worker():
+        tracer.instant("worker-side", "t")
+
+    thread = threading.Thread(target=worker, name="obs-worker")
+    thread.start()
+    thread.join()
+    by_name = {e.name: e.thread for e in tracer.events()}
+    assert by_name["worker-side"] == "obs-worker"
+    assert by_name["main-side"] != "obs-worker"
+
+
+def test_jsonl_export_round_trips():
+    tracer = Tracer(sim_clock=lambda: 1.25)
+    tracer.begin("write", "write", {"n": 3})
+    tracer.end("write", "write")
+    tracer.complete("fs.write", "fs", sim_dur=0.125, args={"bytes": 64})
+    buf = io.StringIO()
+    assert tracer.export_jsonl(buf) == 3
+    buf.seek(0)
+    loaded = load_jsonl(buf)
+    original = tracer.events()
+    assert [e.phase for e in loaded] == [e.phase for e in original]
+    assert [e.name for e in loaded] == [e.name for e in original]
+    assert loaded[2].sim_dur == pytest.approx(0.125)
+    assert loaded[0].args == {"n": 3}
+
+
+def test_jsonl_export_to_path(tmp_path):
+    tracer = Tracer()
+    tracer.instant("marker", "t")
+    path = tmp_path / "trace.jsonl"
+    assert tracer.export_jsonl(str(path)) == 1
+    events = load_events(str(path))
+    assert len(events) == 1
+    assert events[0].name == "marker"
+
+
+def test_chrome_trace_format():
+    tracer = Tracer()
+    tracer.begin("flush.build", "flush")
+    tracer.end("flush.build", "flush")
+    tracer.complete("fs.read", "fs", dur=0.001)
+    trace = tracer.chrome_trace()
+    data_events = [e for e in trace if e["ph"] in ("B", "E", "X")]
+    meta_events = [e for e in trace if e["ph"] == "M"]
+    assert len(data_events) == 3
+    assert meta_events and meta_events[0]["name"] == "thread_name"
+    complete = next(e for e in data_events if e["ph"] == "X")
+    assert complete["dur"] == pytest.approx(1000.0)  # µs
+    # Serializable end to end.
+    json.dumps(trace)
+
+
+def test_clear_empties_ring_but_keeps_total():
+    tracer = Tracer()
+    tracer.instant("a", "t")
+    tracer.clear()
+    assert len(tracer) == 0
+    assert tracer.events_recorded == 1
+
+
+def test_null_tracer_is_inert():
+    assert NULL_TRACER.enabled is False
+    NULL_TRACER.begin("x", "t")
+    NULL_TRACER.end("x", "t")
+    NULL_TRACER.instant("x", "t")
+    NULL_TRACER.complete("x", "t", dur=1.0)
+    with NULL_TRACER.span("x", "t"):
+        pass
+    assert len(NULL_TRACER) == 0
+    assert NULL_TRACER.events() == []
+    assert NULL_TRACER.export_jsonl(io.StringIO()) == 0
+    assert NULL_TRACER.chrome_trace() == []
+    assert isinstance(NULL_TRACER, NullTracer)
+
+
+# --------------------------------------------------------- span reconstruction
+
+
+def test_build_spans_pairs_begin_end():
+    tracer = Tracer()
+    tracer.begin("compaction.execute", "compaction", {"parent_level": 1, "child_level": 2})
+    tracer.end("compaction.execute", "compaction")
+    spans = build_spans(tracer.events())
+    assert len(spans) == 1
+    span = spans[0]
+    assert span.name == "compaction.execute"
+    assert span.duration >= 0.0
+    assert span.lane() == "compact L1>L2 execute"
+
+
+def test_build_spans_unrolls_completes_and_instants():
+    tracer = Tracer()
+    tracer.complete("fs.read", "fs", dur=0.5)
+    tracer.instant("stall", "write", {"kind": "stop"})
+    spans = build_spans(tracer.events())
+    by_name = {s.name: s for s in spans}
+    assert by_name["fs.read"].duration == pytest.approx(0.5, abs=1e-9)
+    assert by_name["stall"].duration == 0.0
+    assert by_name["stall"].lane() == "stall (stop)"
+
+
+def test_build_spans_closes_unmatched_begin_at_trace_end():
+    tracer = Tracer()
+    tracer.begin("flush.build", "flush")
+    tracer.instant("later", "t")  # advances last-seen time
+    spans = build_spans(tracer.events())
+    flush = next(s for s in spans if s.name == "flush.build")
+    assert flush.end == max(e.ts for e in tracer.events())
+
+
+def test_build_spans_drops_unmatched_end():
+    tracer = Tracer()
+    tracer.end("orphan", "t")
+    assert [s.name for s in build_spans(tracer.events())] == []
+
+
+def test_nested_same_name_spans_pair_innermost_first():
+    tracer = Tracer()
+    tracer.begin("bg.round", "background", {"layer": "outer"})
+    tracer.begin("bg.round", "background", {"layer": "inner"})
+    tracer.end("bg.round", "background")
+    tracer.end("bg.round", "background")
+    spans = build_spans(tracer.events())
+    assert len(spans) == 2
+    # The first-closed span is the inner one.
+    assert spans[0].args["layer"] == "outer" or spans[1].args["layer"] == "inner"
+    inner = next(s for s in spans if s.args and s.args.get("layer") == "inner")
+    outer = next(s for s in spans if s.args and s.args.get("layer") == "outer")
+    assert outer.start <= inner.start and inner.end <= outer.end
+
+
+def test_flush_lane_for_parent_level_minus_one():
+    span = Span(
+        name="compaction.execute", category="compaction", thread="t",
+        start=0.0, end=1.0, sim_start=0.0, sim_end=1.0,
+        args={"parent_level": -1, "child_level": 0},
+    )
+    assert span.lane() == "compact flush execute"
+
+
+def test_render_timeline_ascii():
+    tracer = Tracer()
+    tracer.begin("flush.build", "flush")
+    tracer.end("flush.build", "flush")
+    tracer.begin("compaction.execute", "compaction", {"parent_level": 0, "child_level": 1})
+    tracer.end("compaction.execute", "compaction")
+    tracer.instant("stall", "write", {"kind": "slowdown"})
+    tracer.complete("fs.read", "fs", dur=0.001)
+    chart = render_timeline(build_spans(tracer.events()), width=40)
+    assert "flush" in chart
+    assert "compact L0>L1 execute" in chart
+    assert "stall (slowdown)" in chart
+    assert "fs.read" not in chart  # hidden by default
+    with_fs = render_timeline(build_spans(tracer.events()), width=40, include_fs=True)
+    assert "fs.read" in with_fs
+
+
+def test_render_timeline_empty():
+    assert "empty trace" in render_timeline([])
+
+
+def test_spans_to_json_shape():
+    tracer = Tracer()
+    tracer.begin("write", "write")
+    tracer.end("write", "write")
+    (entry,) = spans_to_json(build_spans(tracer.events()))
+    assert set(entry) >= {"lane", "name", "start", "end", "dur", "sim_start", "sim_end"}
+    json.dumps(entry)

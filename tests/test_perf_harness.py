@@ -48,6 +48,7 @@ EXPECTED_PATHS = {
     "multi_get",
     "scan",
     "full_compaction",
+    "traced_point_get",
 }
 
 
