@@ -1,0 +1,258 @@
+"""Multi-thread GET scaling benchmark for the lock-free read path.
+
+Measures aggregate GET throughput at 1/2/4/8 reader threads with the
+superversion read path + sharded caches (``Options.read_optimized()``,
+DESIGN.md §9) against the default lock-held read path, and writes
+``BENCH_read_scaling.json`` at the repo root.
+
+The engine's compute is pure Python, so thread overlap cannot speed up
+*CPU*; what the lock-free path unlocks is overlapping device time.  The
+benchmark therefore runs on a real-file store in ``realtime`` mode — every
+second charged to the analytic device model is also slept, with the GIL
+released — emulating an I/O-bound device.  The block cache is sized to
+zero so every GET pays its data-block random read: on the locked path that
+read is slept *while holding the engine lock*, serializing the readers; on
+the superversion path readers only touch the lock for a pointer-load +
+incref, so their device waits overlap.
+
+Usage::
+
+    python benchmarks/perf/read_scaling.py            # full run, refresh JSON
+    python benchmarks/perf/read_scaling.py --quick    # CI smoke sizes
+    python benchmarks/perf/read_scaling.py --check    # exit 1 unless the
+                                                      # 4-thread lock-free
+                                                      # speedup vs the locked
+                                                      # 1-thread baseline
+                                                      # meets the floor
+
+The headline number is ``speedup_4t``: lock-free GET throughput at 4
+reader threads over the single-threaded lock-held baseline.  The full-run
+acceptance bar is 2.0x; ``--quick --check`` gates CI on a deliberately
+generous floor so only a real read-path regression fails the job, not
+shared-runner noise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[2]
+if str(ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(ROOT / "src"))
+
+BASELINE_PATH = ROOT / "BENCH_read_scaling.json"
+#: Full-run acceptance bar and the generous CI gate (quick mode runs on
+#: noisy two-core shared runners).
+TARGET_SPEEDUP_4T = 2.0
+CHECK_MIN_SPEEDUP_4T = 1.5
+THREAD_COUNTS = (1, 2, 4, 8)
+
+
+def _device():
+    """Random-read-latency-heavy SSD profile: a GET's data-block fetch has
+    to dominate its Python time for reader overlap to be measurable."""
+    from repro.storage.device_model import DeviceModel
+
+    return DeviceModel(
+        seq_read_bandwidth=60e6,
+        seq_write_bandwidth=25e6,
+        random_read_latency=500e-6,
+        write_op_cost=100e-6,
+        file_open_cost=200e-6,
+        file_delete_cost=100e-6,
+    )
+
+
+def _options(lock_free: bool):
+    from repro.options import Options
+
+    options = Options(
+        block_size=1024,
+        sstable_size=8 * 1024,
+        memtable_size=8 * 1024,
+        max_levels=6,
+        # Zero block cache: every GET pays its data-block random read, so
+        # the two arms compare device-wait overlap, not cache luck.
+        block_cache_capacity=0,
+    )
+    if lock_free:
+        options = options.read_optimized()
+    return options
+
+
+def _load(db, num_keys: int, value_size: int) -> None:
+    """Populate the key space and settle the tree (no realtime sleeping —
+    the fs flips to realtime only for the timed read phase)."""
+    value = b"v" * value_size
+    for i in range(num_keys):
+        db.put(_key(i), value)
+    db.flush()
+    db.compact_all()
+
+
+def _key(i: int) -> bytes:
+    return f"user{i:08d}".encode()
+
+
+def _run_scenario(
+    name: str, *, lock_free: bool, threads: int, num_ops: int, num_keys: int
+) -> dict:
+    """One (mode, reader-thread-count) cell: uniform random GETs over a
+    pre-loaded real-file DB, returning aggregate wall-clock throughput."""
+    import random
+
+    from repro.core.db import DB
+    from repro.storage.fs import LocalFS
+
+    with tempfile.TemporaryDirectory(prefix=f"bench-{name}-") as root:
+        fs = LocalFS(root, device=_device(), realtime=0.0)
+        db = DB(fs, _options(lock_free), seed=7)
+        _load(db, num_keys, value_size=100)
+
+        per_thread = [num_ops // threads] * threads
+        for extra in range(num_ops % threads):
+            per_thread[extra] += 1
+        errors: list[BaseException] = []
+        found_counts = [0] * threads
+
+        def reader(tid: int, ops: int) -> None:
+            """One reader thread: seeded uniform random GETs."""
+            rng = random.Random(101 + tid * 7919)
+            hits = 0
+            try:
+                for _ in range(ops):
+                    if db.get(_key(rng.randrange(num_keys))) is not None:
+                        hits += 1
+            except BaseException as exc:  # surfaced after join
+                errors.append(exc)
+            found_counts[tid] = hits
+
+        workers = [
+            threading.Thread(target=reader, args=(tid, ops), daemon=True)
+            for tid, ops in enumerate(per_thread)
+        ]
+        fs.realtime = 1.0  # timed phase only: sleep the device model
+        start = time.perf_counter()
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        elapsed = time.perf_counter() - start
+        fs.realtime = 0.0
+        if errors:
+            raise errors[0]
+
+        block_stats = db.block_cache.snapshot()
+        table_stats = db.table_cache.snapshot()
+        entry = {
+            "mode": "lockfree" if lock_free else "locked",
+            "reader_threads": threads,
+            "ops": num_ops,
+            "found": sum(found_counts),
+            "wall_time_s": round(elapsed, 3),
+            "ops_per_sec": round(num_ops / elapsed, 1),
+            "block_cache": {
+                "shards": db.block_cache.num_shards,
+                "hits": block_stats.hits,
+                "misses": block_stats.misses,
+            },
+            "table_cache": {
+                "shards": db.table_cache.num_shards,
+                "hits": table_stats.hits,
+                "misses": table_stats.misses,
+                "shard_hits": [s.hits for s in db.table_cache.shard_snapshots()],
+            },
+        }
+        db.close()
+    print(
+        f"  {name:<14} {entry['ops_per_sec']:>10,.0f} ops/s"
+        f"  ({entry['wall_time_s']:.2f}s wall, {entry['found']} found)"
+    )
+    return entry
+
+
+def run_suite(quick: bool) -> dict:
+    """The locked 1-thread baseline plus lock-free 1/2/4/8-thread cells;
+    returns the JSON report."""
+    num_ops = 600 if quick else 2000
+    num_keys = 400 if quick else 1500
+    print(
+        f"read scaling benchmark ({'quick' if quick else 'full'} mode, "
+        f"{num_ops} GETs/scenario over {num_keys} keys)"
+    )
+    scenarios = {
+        "locked_1t": _run_scenario(
+            "locked_1t", lock_free=False, threads=1, num_ops=num_ops, num_keys=num_keys
+        ),
+        "locked_4t": _run_scenario(
+            "locked_4t", lock_free=False, threads=4, num_ops=num_ops, num_keys=num_keys
+        ),
+    }
+    for threads in THREAD_COUNTS:
+        name = f"lockfree_{threads}t"
+        scenarios[name] = _run_scenario(
+            name, lock_free=True, threads=threads, num_ops=num_ops, num_keys=num_keys
+        )
+    baseline = scenarios["locked_1t"]["ops_per_sec"]
+    speedups = {
+        f"speedup_{threads}t": round(
+            scenarios[f"lockfree_{threads}t"]["ops_per_sec"] / baseline, 2
+        )
+        for threads in THREAD_COUNTS
+    }
+    print(
+        "\n  lock-free speedup vs locked 1-thread baseline: "
+        + "  ".join(f"{t}t={speedups[f'speedup_{t}t']}x" for t in THREAD_COUNTS)
+    )
+    return {
+        "meta": {
+            "python": platform.python_version(),
+            "quick": quick,
+            "thread_counts": list(THREAD_COUNTS),
+            "ops_per_scenario": num_ops,
+            "num_keys": num_keys,
+            "target_speedup_4t": TARGET_SPEEDUP_4T,
+            "check_min_speedup_4t": CHECK_MIN_SPEEDUP_4T,
+        },
+        "scenarios": scenarios,
+        **speedups,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the suite; write the JSON report or gate on the CI floor."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI smoke sizes")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="gate on the minimum 4-thread speedup instead of writing JSON",
+    )
+    parser.add_argument("--output", type=Path, default=BASELINE_PATH, help="report path")
+    args = parser.parse_args(argv)
+
+    report = run_suite(args.quick)
+    floor = CHECK_MIN_SPEEDUP_4T if args.quick else TARGET_SPEEDUP_4T
+    if args.check:
+        if report["speedup_4t"] < floor:
+            print(
+                f"\nFAIL: lock-free read speedup {report['speedup_4t']}x "
+                f"at 4 threads is below the {floor}x floor"
+            )
+            return 1
+        print(f"\nOK: speedup {report['speedup_4t']}x >= {floor}x floor")
+        return 0
+    args.output.write_text(json.dumps(report, indent=1, sort_keys=True) + "\n")
+    print(f"\nwrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -15,7 +15,7 @@ key structure is the heart of the paper's cache-invalidation story:
 from __future__ import annotations
 
 from ..sstable.block import ParsedBlock
-from .lru import LRUCache, LRUStats
+from .lru import LRUStats, ShardedLRUCache
 
 
 class BlockCache:
@@ -24,14 +24,22 @@ class BlockCache:
     Entries may be eager :class:`~repro.sstable.block.DataBlock` or lazy
     :class:`~repro.sstable.block.LazyDataBlock` instances; both charge the
     serialized payload size, so the eviction behaviour is identical.
+
+    ``shards`` > 1 partitions the ``(file_number, offset)`` key space across
+    independently locked LRU shards (DESIGN.md §9); the default of 1 keeps
+    the single-mutex behaviour — and eviction order — bit-identical.
     """
 
-    def __init__(self, capacity_bytes: int):
-        self._lru = LRUCache(capacity_bytes)
+    def __init__(self, capacity_bytes: int, shards: int = 1, tracer=None):
+        self._lru = ShardedLRUCache(capacity_bytes, shards=shards, tracer=tracer)
 
     @property
     def capacity(self) -> int:
         return self._lru.capacity
+
+    @property
+    def num_shards(self) -> int:
+        return self._lru.num_shards
 
     @property
     def usage(self) -> int:
@@ -39,7 +47,16 @@ class BlockCache:
 
     @property
     def stats(self) -> LRUStats:
-        return self._lru.stats
+        """Aggregated counters (a consistent snapshot; see :meth:`snapshot`)."""
+        return self._lru.snapshot()
+
+    def snapshot(self) -> LRUStats:
+        """Consistent aggregate stats snapshot across shards."""
+        return self._lru.snapshot()
+
+    def shard_snapshots(self) -> list[LRUStats]:
+        """Per-shard stats snapshots (shard-balance diagnostics)."""
+        return self._lru.shard_snapshots()
 
     def __len__(self) -> int:
         return len(self._lru)

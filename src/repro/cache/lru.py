@@ -1,15 +1,20 @@
-"""A charge-aware LRU cache.
+"""Charge-aware LRU caches, single-mutex and sharded.
 
 Entries carry an explicit *charge* (bytes), so capacity is a byte budget
 rather than an entry count.  Used by both the block cache (charge =
 serialized block size) and the table cache (charge = 1 per open table).
+
+:class:`LRUCache` is the single-mutex building block; :class:`ShardedLRUCache`
+partitions the key space across N independent shards (LevelDB's
+``ShardedLRUCache``) so concurrent readers contend on per-shard locks
+instead of one global mutex (DESIGN.md §9).
 """
 
 from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Callable, Hashable, Iterator
 
 
@@ -24,6 +29,14 @@ class LRUStats:
     #: Entries removed because their backing object was destroyed (e.g. an
     #: SSTable deleted by Table Compaction) rather than by capacity pressure.
     invalidations: int = 0
+
+    def add(self, other: "LRUStats") -> None:
+        """Fold ``other``'s counters into this one (shard aggregation)."""
+        self.hits += other.hits
+        self.misses += other.misses
+        self.insertions += other.insertions
+        self.evictions += other.evictions
+        self.invalidations += other.invalidations
 
 
 class LRUCache:
@@ -42,15 +55,27 @@ class LRUCache:
         self._lock = threading.RLock()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._entries
+        # Under the lock: a concurrent insert's evict loop mutates the
+        # OrderedDict, and an unlocked membership probe can observe it
+        # mid-rehash.
+        with self._lock:
+            return key in self._entries
 
     @property
     def usage(self) -> int:
         """Sum of charges currently held."""
-        return self._usage
+        with self._lock:
+            return self._usage
+
+    def snapshot(self) -> LRUStats:
+        """A consistent copy of the counters (readers without the cache lock
+        would otherwise see torn hit/miss pairs mid-update)."""
+        with self._lock:
+            return replace(self.stats)
 
     def get(self, key: Hashable) -> Any | None:
         """Return the cached value (refreshing recency) or None on miss."""
@@ -85,6 +110,25 @@ class LRUCache:
             while self._usage > self.capacity and self._entries:
                 oldest = next(iter(self._entries))
                 self._remove(oldest, invalidation=False, count_eviction=True)
+
+    def get_or_insert(
+        self, key: Hashable, factory: Callable[[], Any], charge: int = 1
+    ) -> Any:
+        """Atomic get-or-create: on a miss, ``factory()`` runs and its result
+        is inserted, all under the cache lock.  Counters match a ``get``
+        followed by an ``insert`` exactly; the atomicity is what keeps two
+        concurrent misses from constructing (and leaking) duplicate values
+        — e.g. double-opened table readers on the lock-free read path."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return entry[0]
+            self.stats.misses += 1
+            value = factory()
+            self.insert(key, value, charge)
+            return value
 
     def erase(self, key: Hashable) -> bool:
         """Remove ``key`` if present; returns whether it was present."""
@@ -125,3 +169,129 @@ class LRUCache:
     def hit_rate(self) -> float:
         total = self.stats.hits + self.stats.misses
         return self.stats.hits / total if total else 0.0
+
+
+class ShardedLRUCache:
+    """N independent LRU shards selected by key hash (DESIGN.md §9).
+
+    Concurrent readers contend on per-shard locks instead of one global
+    mutex; the capacity budget is split across shards (remainder to the
+    first shards, so the total is exact).  With ``shards=1`` there is
+    exactly one :class:`LRUCache` and behaviour — including eviction order
+    and stats — is bit-identical to the unsharded cache, which is what
+    keeps the default engine's simulated metrics unchanged.
+
+    Shard routing uses Python's builtin ``hash``: the engine's cache keys
+    are ints and tuples of ints, whose hashes are deterministic across
+    processes, so sharded runs stay reproducible.
+
+    ``tracer`` (optional) records a ``cache.shard_wait`` span whenever a
+    shard lock is contended — the read-scaling signal the sharding exists
+    to eliminate.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        shards: int = 1,
+        on_evict: Callable[[Hashable, Any], None] | None = None,
+        tracer=None,
+    ):
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self.capacity = capacity
+        base, extra = divmod(capacity, shards)
+        self._shards = [
+            LRUCache(base + (1 if i < extra else 0), on_evict) for i in range(shards)
+        ]
+        self._num_shards = shards
+        self._tracer = tracer
+
+    @property
+    def num_shards(self) -> int:
+        return self._num_shards
+
+    def shard_index(self, key: Hashable) -> int:
+        return hash(key) % self._num_shards
+
+    def _shard(self, key: Hashable) -> LRUCache:
+        if self._num_shards == 1:
+            return self._shards[0]
+        shard = self._shards[hash(key) % self._num_shards]
+        tracer = self._tracer
+        if tracer is not None and tracer.enabled:
+            # Sample contention: a failed non-blocking acquire means another
+            # thread holds this shard; the span brackets the wait.  The
+            # extra (reentrant) hold is released immediately — the shard's
+            # own locking still guards the actual operation.
+            lock = shard._lock
+            if not lock.acquire(blocking=False):
+                tracer.begin("cache.shard_wait", "cache")
+                lock.acquire()
+                tracer.end("cache.shard_wait", "cache")
+            lock.release()
+        return shard
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._shards)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._shard(key)
+
+    @property
+    def usage(self) -> int:
+        return sum(shard.usage for shard in self._shards)
+
+    def get(self, key: Hashable) -> Any | None:
+        return self._shard(key).get(key)
+
+    def peek(self, key: Hashable) -> Any | None:
+        return self._shard(key).peek(key)
+
+    def insert(self, key: Hashable, value: Any, charge: int = 1) -> None:
+        self._shard(key).insert(key, value, charge)
+
+    def get_or_insert(
+        self, key: Hashable, factory: Callable[[], Any], charge: int = 1
+    ) -> Any:
+        return self._shard(key).get_or_insert(key, factory, charge)
+
+    def erase(self, key: Hashable) -> bool:
+        return self._shard(key).erase(key)
+
+    def invalidate_where(self, predicate: Callable[[Hashable], bool]) -> int:
+        return sum(shard.invalidate_where(predicate) for shard in self._shards)
+
+    def clear(self) -> None:
+        for shard in self._shards:
+            shard.clear()
+
+    def keys(self) -> Iterator[Hashable]:
+        for shard in self._shards:
+            yield from shard.keys()
+
+    @property
+    def stats(self) -> LRUStats:
+        """Aggregated counters across shards.  Returns a fresh snapshot —
+        callers mutate per-shard stats, never this aggregate."""
+        return self.snapshot()
+
+    def snapshot(self) -> LRUStats:
+        """Consistent aggregate of every shard's counters (each shard copied
+        under its own lock)."""
+        total = LRUStats()
+        for shard in self._shards:
+            total.add(shard.snapshot())
+        return total
+
+    def shard_snapshots(self) -> list[LRUStats]:
+        """Per-shard stats snapshots, for the shard-balance diagnostics the
+        BENCH report and Prometheus exporter surface."""
+        return [shard.snapshot() for shard in self._shards]
+
+    def hit_rate(self) -> float:
+        stats = self.snapshot()
+        total = stats.hits + stats.misses
+        return stats.hits / total if total else 0.0

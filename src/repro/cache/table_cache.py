@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from ..options import Options
 from ..storage.fs import FileSystem
 from ..sstable.table_reader import TableReader
-from .lru import LRUCache, LRUStats
+from .lru import LRUStats, ShardedLRUCache
 
 
 @dataclass
@@ -31,19 +31,40 @@ class TableCacheMemory:
 
 
 class TableCache:
-    """LRU of open table readers (charge = 1 per table)."""
+    """LRU of open table readers (charge = 1 per table).
 
-    def __init__(self, fs: FileSystem, options: Options):
+    ``Options.cache_shards`` > 1 shards the cache by file number so
+    concurrent point reads resolve their readers under per-shard locks
+    (DESIGN.md §9); 1 (the default) is bit-identical to the single-mutex
+    cache.
+    """
+
+    def __init__(self, fs: FileSystem, options: Options, tracer=None):
         self._fs = fs
         self._options = options
-        self._lru = LRUCache(
+        self._lru = ShardedLRUCache(
             options.table_cache_capacity,
+            shards=options.cache_shards,
             on_evict=lambda _key, reader: reader.close(),
+            tracer=tracer,
         )
 
     @property
     def stats(self) -> LRUStats:
-        return self._lru.stats
+        """Aggregated counters (a consistent snapshot; see :meth:`snapshot`)."""
+        return self._lru.snapshot()
+
+    @property
+    def num_shards(self) -> int:
+        return self._lru.num_shards
+
+    def snapshot(self) -> LRUStats:
+        """Consistent aggregate stats snapshot across shards."""
+        return self._lru.snapshot()
+
+    def shard_snapshots(self) -> list[LRUStats]:
+        """Per-shard stats snapshots (shard-balance diagnostics)."""
+        return self._lru.shard_snapshots()
 
     def __len__(self) -> int:
         return len(self._lru)
@@ -58,16 +79,17 @@ class TableCache:
         table-usability check) so the cost lands on the background category
         rather than the first unlucky foreground read.
         """
-        reader = self._lru.get(file_number)
-        if reader is None:
+        def open_reader() -> TableReader:
             if load_category is None:
-                reader = TableReader(self._fs, file_name, file_number, self._options)
-            else:
-                reader = TableReader(
-                    self._fs, file_name, file_number, self._options, load_category
-                )
-            self._lru.insert(file_number, reader, charge=1)
-        return reader
+                return TableReader(self._fs, file_name, file_number, self._options)
+            return TableReader(
+                self._fs, file_name, file_number, self._options, load_category
+            )
+
+        # Atomic per shard: two concurrent misses must not double-open the
+        # file (the loser's reader would be replaced and closed while the
+        # winner might already be probing it).
+        return self._lru.get_or_insert(file_number, open_reader, charge=1)
 
     def reload(self, file_number: int) -> None:
         """Refresh cached metadata after an in-place append.

@@ -66,6 +66,7 @@ from .flush import flush_memtable
 from .iterator import DBIterator, EntryStream
 from .scheduler import BackgroundScheduler
 from .snapshot import Snapshot, SnapshotRegistry
+from .superversion import SuperVersion
 from .manifest import (
     ManifestWriter,
     read_current,
@@ -155,8 +156,15 @@ class DB:
             self._hist_scan = self.latency.histogram("scan")
         self.stats = DBStats()
         self.stats.ensure_levels(self.options.max_levels)
-        self.block_cache = BlockCache(self.options.block_cache_capacity)
-        self.table_cache = TableCache(self.fs, self.options)
+        # cache_shards=1 (the default) degenerates to the single-mutex
+        # caches, keeping eviction order — and thus simulated metrics —
+        # bit-identical to the unsharded engine.
+        self.block_cache = BlockCache(
+            self.options.block_cache_capacity,
+            shards=self.options.cache_shards,
+            tracer=self.tracer,
+        )
+        self.table_cache = TableCache(self.fs, self.options, tracer=self.tracer)
         self.picker = CompactionPicker(self.options)
         self.deletion_manager = DeletionManager(
             self.fs, self.options, self.table_cache, self.block_cache, self.stats
@@ -178,6 +186,18 @@ class DB:
         self._seed = seed
         self._memtable_counter = 0
         self._sequence = 0
+        # Lock-free read path (DESIGN.md §9): readers resolve lookups
+        # against a refcounted superversion instead of holding the engine
+        # lock.  Inert (None) unless Options.lock_free_reads.
+        self._lock_free_reads = self.options.lock_free_reads
+        self._superversion: SuperVersion | None = None
+        self._sv_number = 0
+        # L2SM stacks auxiliary read components under the levels; probing
+        # them is not superversion-safe, so the lock-free path falls back
+        # to the engine lock around the hook when a subclass overrides it.
+        self._has_extra_read_hook = (
+            type(self)._extra_get_after_level is not DB._extra_get_after_level
+        )
         self._next_file_number = 1
         self._manifest: ManifestWriter | None = None
         self._wal: WalWriter | None = None
@@ -197,6 +217,8 @@ class DB:
             )
 
         self._recover()
+        if self._lock_free_reads:
+            self._install_superversion_locked()
 
         # Started last: the worker must only ever see a fully-recovered DB.
         self._scheduler: BackgroundScheduler | None = None
@@ -606,6 +628,7 @@ class DB:
             self._wal.close()
             self._log_number = self.new_file_number()
             self._wal = WalWriter(self.fs, _log_name(self._log_number))
+        self._install_superversion_locked()
         return old_log
 
     def _build_flush(self) -> FileMetadata | None:
@@ -664,6 +687,10 @@ class DB:
             # flush, not to the first foreground read (see run_compaction).
             self.table_cache.get(meta.file_number, meta.file_name(), CAT_FLUSH)
             self._on_flush(meta)
+        else:
+            # No table came out (everything dropped), so no version edit —
+            # but _immutable was cleared, which is a read-source change.
+            self._install_superversion_locked()
         if old_log is not None and self.fs.exists(old_log):
             self.fs.delete_file(old_log)
         self._observe_space()
@@ -673,6 +700,63 @@ class DB:
         self.version.apply(edit)
         assert self._manifest is not None
         self._manifest.log_edit(edit)
+        self._install_superversion_locked()
+
+    # ------------------------------------------------------------------ superversions
+
+    def _install_superversion_locked(self) -> None:
+        """Swap in a fresh superversion (DESIGN.md §9).  Caller holds the
+        engine lock; called whenever a read source changed — memtable
+        rotation, flush commit, compaction commit.
+
+        The outgoing superversion drops its install reference here.  If
+        in-flight readers still hold it, the deletion manager takes one pin
+        on its behalf so files retired by this very commit stay on disk;
+        the last reader's unref releases the pin (deferred deletion)."""
+        if not self._lock_free_reads:
+            return
+        old = self._superversion
+        self._sv_number += 1
+        self._superversion = SuperVersion(
+            self._sv_number,
+            self._memtable,
+            self._immutable,
+            self.version.clone_file_lists(),
+            self._superversion_drained,
+        )
+        if old is not None and old.retire():
+            self.deletion_manager.pin()
+
+    def _superversion_drained(self, sv: SuperVersion) -> None:
+        """Last reference to a retired superversion dropped (its pinned
+        table readers are already released).  Runs on whichever thread
+        dropped the last ref, with no superversion lock held."""
+        if not sv.deletion_pinned:
+            return
+        with self._lock:
+            if self._closed:
+                # close() already force-cleaned via flush_all(); the pin
+                # count was zeroed, so there is nothing to release.
+                return
+            self.deletion_manager.unpin()
+
+    def _acquire_read(self) -> tuple[SuperVersion, int]:
+        """The lock-free read path's only engine-lock touch: load the
+        current superversion pointer, incref, read the latest sequence."""
+        tracer = self.tracer
+        if not tracer.enabled:
+            with self._lock:
+                self._check_open()
+                return self._superversion.ref(), self._sequence
+        tracer.begin("get.superversion_ref", "get")
+        try:
+            with self._lock:
+                self._check_open()
+                sv = self._superversion.ref()
+                sequence = self._sequence
+        finally:
+            tracer.end("get.superversion_ref", "get")
+        return sv, sequence
 
     # ------------------------------------------------------------------ compaction
 
@@ -1047,11 +1131,18 @@ class DB:
             if not isinstance(key, (bytes, bytearray)):
                 raise InvalidArgumentError("keys must be bytes")
             checked.append(bytes(key))
+        # One critical section per call: the snapshot, sequence, and every
+        # component probe resolve under a single lock acquisition (or, on
+        # the lock-free path, a single superversion incref).
         if self.latency is None:
+            if self._lock_free_reads:
+                return self._multi_get_superversion(checked, snapshot)
             with self._lock:
                 return self._multi_get_locked(checked, snapshot)
         start = time.perf_counter()
         try:
+            if self._lock_free_reads:
+                return self._multi_get_superversion(checked, snapshot)
             with self._lock:
                 return self._multi_get_locked(checked, snapshot)
         finally:
@@ -1156,6 +1247,109 @@ class DB:
             out[key] = value
         return out
 
+    def _multi_get_superversion(
+        self, keys: list[bytes], snapshot: Snapshot | None
+    ) -> dict[bytes, bytes | None]:
+        """Batched lookups against one superversion reference: the engine
+        lock is touched once to incref (plus once at the end if any seek
+        charges accrued).  Probe grouping mirrors :meth:`_multi_get_locked`."""
+        sv, sequence = self._acquire_read()
+        resolved: dict[bytes, bytes | None] = {}
+        # Deferred seek-compaction charges: (level, meta) per charged miss,
+        # applied under the engine lock after the batch.
+        charges: list[tuple[int, FileMetadata]] = []
+        try:
+            sequence = self._resolve_snapshot(snapshot, sequence)
+            pending: list[bytes] = []
+            for key in keys:
+                if key in resolved or key in pending:
+                    continue
+                found, value = sv.memtable.get(key, sequence)
+                if not found and sv.immutable is not None:
+                    found, value = sv.immutable.get(key, sequence)
+                if found:
+                    resolved[key] = value
+                else:
+                    pending.append(key)
+
+            if pending:
+                trackers: dict[bytes, list] = {key: [None, False] for key in pending}
+                table_cache = self.table_cache
+                block_cache = self.block_cache
+
+                def probe(level, meta, reader, key):
+                    """Probe one file for one key, collecting deferred
+                    seek charges instead of mutating picker state."""
+                    found, value, touched = reader.lookup(
+                        key, sequence, block_cache=block_cache, category=CAT_GET
+                    )
+                    tracker = trackers[key]
+                    if touched and not found and tracker[0] is None:
+                        tracker[0] = (level, meta)
+                    elif (touched or found) and tracker[0] is not None and not tracker[1]:
+                        tracker[1] = True
+                        charges.append(tracker[0])
+                    return found, value
+
+                for meta in sv.level0_newest_first:
+                    if not pending:
+                        break
+                    in_range = [
+                        key
+                        for key in pending
+                        if meta.smallest_user_key <= key <= meta.largest_user_key
+                    ]
+                    if not in_range:
+                        continue
+                    reader = sv.reader_for(meta, table_cache)
+                    for key in in_range:
+                        found, value = probe(0, meta, reader, key)
+                        if found:
+                            resolved[key] = value
+                            pending.remove(key)
+                for level in range(1, sv.num_levels):
+                    if not pending:
+                        break
+                    by_file: dict[int, tuple[FileMetadata, list[bytes]]] = {}
+                    for key in pending:
+                        meta = sv.file_for_key(level, key)
+                        if meta is not None:
+                            by_file.setdefault(meta.file_number, (meta, []))[1].append(key)
+                    for meta, file_keys in by_file.values():
+                        reader = sv.reader_for(meta, table_cache)
+                        for key in file_keys:
+                            found, value = probe(level, meta, reader, key)
+                            if found:
+                                resolved[key] = value
+                                pending.remove(key)
+                    if self._has_extra_read_hook and pending:
+                        with self._lock:
+                            extras = [
+                                (key, self._extra_get_after_level(level, key, sequence))
+                                for key in pending
+                            ]
+                        for key, extra in extras:
+                            if extra is not None and extra[0]:
+                                resolved[key] = extra[1]
+                                pending.remove(key)
+        finally:
+            sv.unref()
+
+        out: dict[bytes, bytes | None] = {}
+        found_count = 0
+        for key in keys:
+            value = resolved.get(key)
+            if value is not None:
+                found_count += 1
+            out[key] = value
+        self.stats.count_gets(len(keys), found_count)
+        if charges:
+            with self._lock:
+                if not self._closed:
+                    for level, meta in charges:
+                        self._charge_seek(level, meta)
+        return out
+
     def _rewrite_bottom_level(self) -> None:
         """Rewrite the deepest level in place, dropping shadowed versions
         and unprotected tombstones that accumulated there.
@@ -1218,10 +1412,14 @@ class DB:
             raise InvalidArgumentError("keys must be bytes")
         key = bytes(key)
         if self.latency is None:
+            if self._lock_free_reads:
+                return self._get_superversion(key, default, snapshot)
             with self._lock:
                 return self._get_locked(key, default, snapshot)
         start = time.perf_counter()
         try:
+            if self._lock_free_reads:
+                return self._get_superversion(key, default, snapshot)
             with self._lock:
                 return self._get_locked(key, default, snapshot)
         finally:
@@ -1281,6 +1479,79 @@ class DB:
                 if found:
                     return self._get_result(value, default)
         return default
+
+    def _get_superversion(
+        self, key: bytes, default: bytes | None, snapshot: Snapshot | None
+    ) -> bytes | None:
+        """Point lookup against a refcounted superversion: the engine lock
+        is held only inside :meth:`_acquire_read`; the traversal mirrors
+        :meth:`_get_locked` over the snapshot's immutable file lists.
+
+        Seek-compaction bookkeeping is observed locally and applied under
+        the engine lock after the lookup — mutating picker state lock-free
+        would race the background worker, and triggering a compaction
+        mid-traversal would be pointless anyway (this reader's superversion
+        pins its view regardless)."""
+        sv, sequence = self._acquire_read()
+        found_value: bytes | None = None
+        found = False
+        first_miss: tuple[int, FileMetadata] | None = None
+        charged = False
+        try:
+            sequence = self._resolve_snapshot(snapshot, sequence)
+            found, value = sv.memtable.get(key, sequence)
+            if not found and sv.immutable is not None:
+                found, value = sv.immutable.get(key, sequence)
+            if not found:
+                table_cache = self.table_cache
+                block_cache = self.block_cache
+
+                def visit(level: int, meta: FileMetadata) -> tuple[bool, bytes | None]:
+                    """Probe one file via the superversion's pinned reader,
+                    observing (not applying) seek-charge bookkeeping."""
+                    nonlocal first_miss, charged
+                    reader = sv.reader_for(meta, table_cache)
+                    hit, val, touched = reader.lookup(
+                        key, sequence, block_cache=block_cache, category=CAT_GET
+                    )
+                    if touched and not hit and first_miss is None:
+                        first_miss = (level, meta)
+                    elif (touched or hit) and first_miss is not None and not charged:
+                        charged = True
+                    return hit, val
+
+                for meta in sv.level0_newest_first:
+                    if meta.smallest_user_key <= key <= meta.largest_user_key:
+                        found, value = visit(0, meta)
+                        if found:
+                            break
+                if not found:
+                    for level in range(1, sv.num_levels):
+                        meta = sv.file_for_key(level, key)
+                        if meta is not None:
+                            found, value = visit(level, meta)
+                            if found:
+                                break
+                        if self._has_extra_read_hook:
+                            with self._lock:
+                                extra = self._extra_get_after_level(level, key, sequence)
+                            if extra is not None:
+                                found, value = extra
+                                if found:
+                                    break
+            if found:
+                found_value = value
+        finally:
+            sv.unref()
+        hit = found and found_value is not None
+        self.stats.count_gets(1, 1 if hit else 0)
+        if charged and first_miss is not None:
+            with self._lock:
+                if not self._closed:
+                    self._charge_seek(*first_miss)
+        if not found or found_value is None:
+            return default
+        return found_value
 
     def _get_result(self, value: bytes | None, default: bytes | None) -> bytes | None:
         if value is None:  # tombstone
@@ -1392,6 +1663,19 @@ class DB:
             ):
                 self._request_compaction()
 
+    def _iterator_closed_superversion(self, sv: SuperVersion, sequence: int) -> None:
+        """Lock-free iterator teardown: drop the superversion reference
+        first (its drain callback takes the engine lock itself), then
+        release the sequence pin and deletion pin under the lock."""
+        sv.unref()
+        with self._lock:
+            self.snapshots.unpin(sequence)
+            if self._closed:
+                return
+            self.deletion_manager.unpin()
+            if self.deletion_manager.active_pins == 0 and self.picker.seek_candidates:
+                self._request_compaction()
+
     def _level_blocks(
         self,
         level: int,
@@ -1455,18 +1739,34 @@ class DB:
         with self._lock:
             snapshot = self._resolve_snapshot(snapshot, self._sequence)
             seek = seek_comparable(start, snapshot) if start is not None else None
-            file_lists = self.version.clone_file_lists()
+            # The lock-free path reads from a refcounted superversion and
+            # pins the iterator's sequence in the snapshot registry for its
+            # lifetime: with a background worker live, a compaction landing
+            # mid-scan could otherwise merge away key versions this
+            # iterator still needs (the memtable/file pins alone don't
+            # protect versions inside surviving files).
+            sv: SuperVersion | None = None
+            if self._lock_free_reads:
+                sv = self._superversion.ref()
+                self.snapshots.pin(snapshot)
+                memtable, immutable = sv.memtable, sv.immutable
+                file_lists = sv.file_lists
+                on_close = lambda: self._iterator_closed_superversion(sv, snapshot)
+            else:
+                memtable, immutable = self._memtable, self._immutable
+                file_lists = self.version.clone_file_lists()
+                on_close = self._iterator_closed
 
             sources: list[EntryStream] = [
-                self._memtable.entries_from(seek)
+                memtable.entries_from(seek)
                 if seek is not None
-                else self._memtable.entries()
+                else memtable.entries()
             ]
-            if self._immutable is not None:
+            if immutable is not None:
                 sources.append(
-                    self._immutable.entries_from(seek)
+                    immutable.entries_from(seek)
                     if seek is not None
-                    else self._immutable.entries()
+                    else immutable.entries()
                 )
             sources.extend(self._extra_entry_sources(seek, CAT_SCAN))
             for meta in sorted(file_lists[0], key=lambda f: f.file_number, reverse=True):
@@ -1481,7 +1781,7 @@ class DB:
 
             self.deletion_manager.pin()
             self.stats.scans += 1
-            return DBIterator(sources, snapshot, end=end, on_close=self._iterator_closed)
+            return DBIterator(sources, snapshot, end=end, on_close=on_close)
 
     def scan(
         self,
@@ -1566,6 +1866,23 @@ class DB:
         )
         if per_cat:
             lines.append(f"io bytes by category: {per_cat}")
+        bc = self.block_cache.snapshot()
+        tc = self.table_cache.snapshot()
+        lines.append(
+            f"block-cache: shards={self.block_cache.num_shards} "
+            f"hits={bc.hits} misses={bc.misses} evictions={bc.evictions} "
+            f"invalidations={bc.invalidations}"
+        )
+        lines.append(
+            f"table-cache: shards={self.table_cache.num_shards} "
+            f"hits={tc.hits} misses={tc.misses} open={len(self.table_cache)}"
+        )
+        if self._superversion is not None:
+            lines.append(
+                f"superversion: number={self._superversion.number} "
+                f"refs={self._superversion.refs} "
+                f"pinned-readers={self._superversion.pinned_reader_count}"
+            )
         if self.latency is not None:
             lines.append("")
             lines.append("latency (ms):        count       p50       p99      p999       max")
@@ -1614,6 +1931,13 @@ class DB:
             self._wal.close()
         if self._manifest is not None:
             self._manifest.close()
+        if self._superversion is not None:
+            # Drop the install reference.  In-flight readers (if any) keep
+            # their snapshot alive; their final unref sees _closed and
+            # skips the deletion-manager unpin (flush_all below zeroes the
+            # pin count unconditionally).
+            sv, self._superversion = self._superversion, None
+            sv.retire()
         self.deletion_manager.flush_all()
         self.table_cache.close()
         self.block_cache.clear()

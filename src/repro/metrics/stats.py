@@ -115,6 +115,16 @@ class DBStats:
         with self._lock:
             self.scan_entries += n
 
+    def count_gets(self, gets: int, found: int) -> None:
+        """Batch-add point-lookup counters.  Safe to call without the engine
+        lock (the superversion read path resolves lookups lock-free and
+        records the tallies afterwards).  Seek-miss charges are *not*
+        recorded here — those stay engine-lock-guarded via ``_charge_seek``
+        so the two locking domains never write the same counter."""
+        with self._lock:
+            self.gets += gets
+            self.gets_found += found
+
     def ensure_levels(self, num_levels: int) -> None:
         while len(self.per_level_write_bytes) < num_levels:
             self.per_level_write_bytes.append(0)

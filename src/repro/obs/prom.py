@@ -87,11 +87,30 @@ def render_prometheus(db) -> str:
         lines.append(f'{name}{{category="{safe}",dir="write"}} {counters.bytes_written}')
         lines.append(f'{name}{{category="{safe}",dir="read"}} {counters.bytes_read}')
 
-    # -- block cache -------------------------------------------------------
-    cache = getattr(db, "block_cache", None)
-    if cache is not None:
-        emit(f"{_PREFIX}_block_cache_hits", cache.stats.hits)
-        emit(f"{_PREFIX}_block_cache_misses", cache.stats.misses)
+    # -- block + table caches ----------------------------------------------
+    # Aggregates plus per-shard labeled counters (DESIGN.md §9): shard
+    # balance is the signal sharded caches exist for, so the exporter
+    # surfaces it directly.
+    for cache_name in ("block_cache", "table_cache"):
+        cache = getattr(db, cache_name, None)
+        if cache is None:
+            continue
+        snap = cache.snapshot()
+        emit(f"{_PREFIX}_{cache_name}_hits", snap.hits)
+        emit(f"{_PREFIX}_{cache_name}_misses", snap.misses)
+        emit(f"{_PREFIX}_{cache_name}_evictions", snap.evictions)
+        emit(f"{_PREFIX}_{cache_name}_invalidations", snap.invalidations)
+        emit(f"{_PREFIX}_{cache_name}_shards", cache.num_shards, kind="gauge")
+        if cache.num_shards > 1:
+            name = f"{_PREFIX}_{cache_name}_shard_ops"
+            lines.append(f"# TYPE {name} counter")
+            for shard, shard_snap in enumerate(cache.shard_snapshots()):
+                lines.append(
+                    f'{name}{{shard="{shard}",op="hit"}} {shard_snap.hits}'
+                )
+                lines.append(
+                    f'{name}{{shard="{shard}",op="miss"}} {shard_snap.misses}'
+                )
 
     # -- latency histograms ------------------------------------------------
     registry = getattr(db, "latency", None)

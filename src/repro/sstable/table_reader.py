@@ -12,6 +12,8 @@ between blocks without I/O), then exactly one data block.
 
 from __future__ import annotations
 
+import threading
+from dataclasses import dataclass
 from itertools import chain
 from typing import TYPE_CHECKING, Iterable, Iterator
 
@@ -27,6 +29,24 @@ from .index import IndexBlock, IndexEntry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from ..cache.block_cache import BlockCache
+
+
+@dataclass(frozen=True)
+class TableMeta:
+    """One consistent generation of a table's metadata.
+
+    Block Compaction appends a new section in place and then republishes
+    the footer/index/filter as a unit: bundling them in one frozen object
+    swapped by a single attribute store keeps lock-free readers from ever
+    seeing a new index paired with an old filter (or vice versa) mid-
+    :meth:`TableReader.reload`.  A reader that grabbed the old meta keeps
+    working — the old blocks are still physically present in the file.
+    """
+
+    footer: Footer
+    index: IndexBlock
+    filter: Filter | None
+    file_size: int
 
 
 class TableReader:
@@ -50,59 +70,102 @@ class TableReader:
         #: foreground ``open`` category.
         self._load_category = load_category
         self._handle = fs.open_random(name, category=load_category)
+        # Pin count guarded by its own lock: superversions and iterators on
+        # the lock-free read path acquire/release from reader threads while
+        # the table cache may evict from the background worker.
+        self._ref_lock = threading.Lock()
         self._refs = 0
         self._close_pending = False
-        self._load_metadata()
+        self._meta = self._load_metadata()
 
-    def _load_metadata(self) -> None:
-        """(Re)load the latest footer, index, and filter."""
+    def _load_metadata(self) -> TableMeta:
+        """Load the latest footer, index, and filter as one generation."""
         cat = self._load_category
         size = self._handle.size()
         if size < FOOTER_SIZE:
             raise CorruptionError(f"table {self.name!r} shorter than a footer")
         footer_raw = self._handle.read(size - FOOTER_SIZE, FOOTER_SIZE, category=cat)
-        self.footer = Footer.deserialize(footer_raw)
-        self.file_size = size
+        footer = Footer.deserialize(footer_raw)
 
-        idx = self.footer.index_handle
+        idx = footer.index_handle
         raw = self._handle.read(idx.offset, idx.size + BLOCK_TRAILER_SIZE, category=cat)
-        self.index: IndexBlock = IndexBlock.deserialize(
+        index = IndexBlock.deserialize(
             unwrap_block(raw, verify_checksum=self._options.verify_checksums)
         )
 
-        self.filter: Filter | None = None
-        flt = self.footer.filter_handle
+        filter_: Filter | None = None
+        flt = footer.filter_handle
         if not flt.is_null():
             raw = self._handle.read(flt.offset, flt.size + BLOCK_TRAILER_SIZE, category=cat)
-            self.filter = deserialize_filter(
+            filter_ = deserialize_filter(
                 unwrap_block(raw, verify_checksum=self._options.verify_checksums)
             )
+        return TableMeta(footer=footer, index=index, filter=filter_, file_size=size)
 
     def reload(self) -> None:
-        """Re-read metadata after an in-place append (Block Compaction)."""
-        self._load_metadata()
+        """Re-read metadata after an in-place append (Block Compaction).
+
+        The new generation is built fully before the single ``_meta`` store
+        publishes it, so concurrent readers see either the old or the new
+        footer/index/filter set — never a mix.
+        """
+        self._meta = self._load_metadata()
 
     # -- basic accessors -----------------------------------------------------
 
     @property
+    def meta(self) -> TableMeta:
+        """The current metadata generation; grab once per lookup for a
+        self-consistent footer/index/filter view."""
+        return self._meta
+
+    @property
+    def footer(self) -> Footer:
+        return self._meta.footer
+
+    @property
+    def index(self) -> IndexBlock:
+        return self._meta.index
+
+    @property
+    def filter(self) -> Filter | None:
+        return self._meta.filter
+
+    @property
+    def file_size(self) -> int:
+        return self._meta.file_size
+
+    @property
     def num_entries(self) -> int:
-        return self.footer.num_entries
+        return self._meta.footer.num_entries
 
     @property
     def valid_bytes(self) -> int:
-        return self.footer.valid_data_bytes
+        return self._meta.footer.valid_data_bytes
 
     def smallest_key(self) -> bytes | None:
-        return self.index.smallest_key()
+        return self._meta.index.smallest_key()
 
     def largest_key(self) -> bytes | None:
-        return self.index.largest_key()
+        return self._meta.index.largest_key()
+
+    def key_range_excludes(self, user_key: bytes) -> bool:
+        """True when ``user_key`` falls outside this table's key span — the
+        zero-I/O pre-check the lock-free fast path runs before consulting
+        filters or the sharded caches."""
+        index = self._meta.index
+        smallest = index.smallest_key()
+        if smallest is None:
+            return True
+        largest = index.largest_key()
+        return user_key < smallest or (largest is not None and user_key > largest)
 
     def metadata_memory_bytes(self) -> tuple[int, int]:
         """(index bytes, filter bytes) resident while this table is open —
         the table-cache memory the paper measures in Fig 15."""
-        index_bytes = self.index.memory_bytes()
-        filter_bytes = self.filter.memory_bytes() if self.filter is not None else 0
+        meta = self._meta
+        index_bytes = meta.index.memory_bytes()
+        filter_bytes = meta.filter.memory_bytes() if meta.filter is not None else 0
         return index_bytes, filter_bytes
 
     # -- block access ----------------------------------------------------------
@@ -185,12 +248,15 @@ class TableReader:
         (``touched``), the signal LevelDB's seek-compaction accounting needs:
         fruitless lookups that cost real block I/O drain the file's seek
         budget; lookups pruned by the filter or index do not."""
-        if self.filter is not None and not self.filter.may_contain(user_key):
+        # One meta generation for the whole lookup: a concurrent reload()
+        # must not hand us a new index with an old filter's block offsets.
+        meta = self._meta
+        if meta.filter is not None and not meta.filter.may_contain(user_key):
             return False, None, False
-        entry = self.index.find_candidate(user_key)
+        entry = meta.index.find_candidate(user_key)
         if entry is None:
             return False, None, False
-        if self.filter is not None and not self.filter.may_contain_in_block(
+        if meta.filter is not None and not meta.filter.may_contain_in_block(
             entry.offset, user_key
         ):
             return False, None, False
@@ -225,10 +291,11 @@ class TableReader:
         pays a random read.  This is exactly the range-scan penalty of
         block reuse the paper discusses (Section IV).
         """
+        index = self._meta.index
         start = 0
         if seek is not None:
-            start = self.index.first_overlapping(seek[0])
-        entries = self.index.entries
+            start = index.first_overlapping(seek[0])
+        entries = index.entries
         expected_offset: int | None = None
         for i in range(start, len(entries)):
             entry = entries[i]
@@ -266,7 +333,7 @@ class TableReader:
     def get_all_user_keys(self, *, category: str) -> list[bytes]:
         """Every live user key (reads all valid blocks) — filter rebuilds."""
         keys: list[bytes] = []
-        for entry in self.index.entries:
+        for entry in self._meta.index.entries:
             block = self.read_block(entry, category=category)
             keys.extend(block.user_keys())
         return keys
@@ -281,20 +348,24 @@ class TableReader:
     # -- lifetime ---------------------------------------------------------------
 
     def acquire(self) -> None:
-        """Pin this reader open (long-lived iterators hold a pin so a table
-        cache eviction cannot close the file under them)."""
-        self._refs += 1
+        """Pin this reader open (long-lived iterators and superversions hold
+        a pin so a table cache eviction cannot close the file under them)."""
+        with self._ref_lock:
+            self._refs += 1
 
     def release(self) -> None:
         """Drop a pin; performs any close deferred while pinned."""
-        if self._refs <= 0:
-            raise RuntimeError("release without matching acquire")
-        self._refs -= 1
-        if self._refs == 0 and self._close_pending:
+        with self._ref_lock:
+            if self._refs <= 0:
+                raise RuntimeError("release without matching acquire")
+            self._refs -= 1
+            do_close = self._refs == 0 and self._close_pending
+        if do_close:
             self._handle.close()
 
     def close(self) -> None:
-        if self._refs > 0:
-            self._close_pending = True
-        else:
-            self._handle.close()
+        with self._ref_lock:
+            if self._refs > 0:
+                self._close_pending = True
+                return
+        self._handle.close()

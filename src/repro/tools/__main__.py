@@ -5,6 +5,7 @@ Usage::
     python -m repro.tools <store-dir> <file.sst> [--entries [N]]
     python -m repro.tools <store-dir> --manifest
     python -m repro.tools metrics <store-dir>
+    python -m repro.tools metrics --cache-report BENCH_read_scaling.json
     python -m repro.tools timeline <trace.jsonl> [--json] [--width N] [--fs]
 
 The first two forms are the original table/manifest dumpers; ``metrics``
@@ -22,7 +23,7 @@ import sys
 from ..errors import FileSystemError
 from ..obs.timeline import build_spans, load_events, render_timeline, spans_to_json
 from ..storage.fs import LocalFS
-from .metrics_report import format_store_report
+from .metrics_report import format_cache_report, format_store_report
 from .sst_dump import describe_manifest, describe_table, dump_table
 
 #: Subcommand names dispatched before the legacy positional parser.
@@ -55,7 +56,13 @@ def build_metrics_parser() -> argparse.ArgumentParser:
         prog="python -m repro.tools metrics",
         description="Per-level storage metrics from manifest replay (no DB open).",
     )
-    parser.add_argument("store", help="store directory (a LocalFS root)")
+    parser.add_argument("store", nargs="?", help="store directory (a LocalFS root)")
+    parser.add_argument(
+        "--cache-report",
+        metavar="PATH",
+        help="render per-shard cache counters from a read-scaling "
+        "benchmark report (BENCH_read_scaling.json) instead of a store",
+    )
     return parser
 
 
@@ -80,6 +87,19 @@ def build_timeline_parser() -> argparse.ArgumentParser:
 
 def _run_metrics(argv: list[str]) -> int:
     args = build_metrics_parser().parse_args(argv)
+    if args.cache_report:
+        try:
+            with open(args.cache_report, encoding="utf-8") as handle:
+                data = json.load(handle)
+            report = format_cache_report(data)
+        except (OSError, ValueError) as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        print(report)
+        return 0
+    if not args.store:
+        print("either a store directory or --cache-report is required", file=sys.stderr)
+        return 2
     try:
         report = format_store_report(LocalFS(args.store))
     except (ValueError, FileSystemError) as exc:

@@ -11,6 +11,12 @@ quantity) and labels it as such.
 CLI::
 
     python -m repro.tools metrics <store-dir>
+    python -m repro.tools metrics --cache-report BENCH_read_scaling.json
+
+The second form renders the per-shard cache hit/miss counters a
+benchmark report captured (``benchmarks/perf/read_scaling.py``) — cache
+state is runtime-only, so it travels via the report JSON rather than the
+manifest.
 """
 
 from __future__ import annotations
@@ -152,5 +158,62 @@ def format_store_report(fs: FileSystem) -> str:
         lines.append(
             f"MISSING live files ({len(replay.missing_files)}): "
             + ", ".join(replay.missing_files)
+        )
+    return "\n".join(lines)
+
+
+def format_cache_report(report: dict) -> str:
+    """Per-shard cache counters from a read-scaling benchmark report.
+
+    ``report`` is the parsed ``BENCH_read_scaling.json`` dict; each
+    scenario carries aggregate block/table cache hit/miss counts plus
+    ``table_cache.shard_hits`` when the cache is sharded.  The table shows
+    shard balance — the signal sharded caches exist for (DESIGN.md §9).
+    """
+    scenarios = report.get("scenarios")
+    if not isinstance(scenarios, dict) or not scenarios:
+        raise ValueError("report has no 'scenarios' section: not a read-scaling report")
+
+    rows = []
+    for name, entry in scenarios.items():
+        block = entry.get("block_cache", {})
+        table = entry.get("table_cache", {})
+        shard_hits = table.get("shard_hits") or []
+        if shard_hits:
+            busiest = max(shard_hits)
+            total = sum(shard_hits)
+            balance = f"{busiest / total:.1%}" if total else "-"
+        else:
+            balance = "-"
+        rows.append(
+            [
+                name,
+                entry.get("reader_threads", "-"),
+                block.get("shards", "-"),
+                block.get("hits", 0),
+                block.get("misses", 0),
+                table.get("shards", "-"),
+                table.get("hits", 0),
+                table.get("misses", 0),
+                balance,
+            ]
+        )
+    table_text = format_table(
+        [
+            "scenario", "readers",
+            "bc shards", "bc hits", "bc misses",
+            "tc shards", "tc hits", "tc misses", "busiest tc shard",
+        ],
+        rows,
+        title="Cache shard counters (from benchmark report)",
+    )
+
+    lines = [table_text]
+    speedups = {k: v for k, v in report.items() if k.startswith("speedup_")}
+    if speedups:
+        lines.append("")
+        lines.append(
+            "lock-free speedup vs locked 1-thread baseline: "
+            + "  ".join(f"{k.removeprefix('speedup_')}={v}x" for k, v in speedups.items())
         )
     return "\n".join(lines)

@@ -202,3 +202,135 @@ class TestTableCache:
         cache.get(1, "000001.sst")
         cache.evict(1)
         assert len(cache) == 0
+
+
+class TestShardedLRU:
+    """N-shard cache (DESIGN.md §9): routing, aggregation, and the
+    shards=1 bit-identical degenerate case."""
+
+    def test_routing_is_by_key_hash_and_stable(self):
+        from repro.cache.lru import ShardedLRUCache
+
+        cache = ShardedLRUCache(1600, shards=16)
+        for i in range(100):
+            cache.insert(i, i * 2, charge=1)
+        for i in range(100):
+            assert cache.shard_index(i) == hash(i) % 16
+            assert cache.get(i) == i * 2
+        # Every entry lives in exactly one shard.
+        assert sum(len(s) for s in cache._shards) == len(cache) == 100
+
+    def test_capacity_split_is_exact(self):
+        from repro.cache.lru import ShardedLRUCache
+
+        cache = ShardedLRUCache(100, shards=16)
+        assert sum(s.capacity for s in cache._shards) == 100
+
+    def test_stats_aggregate_across_shards(self):
+        from repro.cache.lru import ShardedLRUCache
+
+        cache = ShardedLRUCache(1600, shards=16)
+        for i in range(50):
+            cache.insert(i, i, charge=1)
+        for i in range(50):
+            assert cache.get(i) == i
+        for i in range(50, 60):
+            assert cache.get(i) is None
+        agg = cache.snapshot()
+        assert agg.hits == 50 and agg.misses == 10 and agg.insertions == 50
+        per_shard = cache.shard_snapshots()
+        assert sum(s.hits for s in per_shard) == 50
+        assert cache.stats.hits == 50  # property returns a fresh snapshot
+        assert cache.hit_rate() == pytest.approx(50 / 60)
+
+    def test_single_shard_matches_plain_lru_exactly(self):
+        """shards=1 must reproduce the unsharded cache bit-for-bit —
+        eviction order included (the default-mode determinism contract)."""
+        from repro.cache.lru import ShardedLRUCache
+
+        plain = LRUCache(10)
+        sharded = ShardedLRUCache(10, shards=1)
+        ops = [("ins", k, c) for k, c in [(1, 4), (2, 4), (3, 4), (4, 2)]]
+        ops += [("get", 2, 0), ("ins", 5, 6), ("get", 1, 0), ("get", 3, 0)]
+        for op, key, charge in ops:
+            if op == "ins":
+                plain.insert(key, key, charge=charge)
+                sharded.insert(key, key, charge=charge)
+            else:
+                assert plain.get(key) == sharded.get(key)
+        assert plain.snapshot() == sharded.snapshot()
+        assert list(plain.keys()) == list(sharded.keys())
+        assert plain.usage == sharded.usage
+
+    def test_get_or_insert_counts_like_get_then_insert(self):
+        lru = LRUCache(100)
+        calls = []
+        assert lru.get_or_insert("a", lambda: calls.append(1) or 7, charge=5) == 7
+        assert lru.get_or_insert("a", lambda: calls.append(1) or 9, charge=5) == 7
+        assert len(calls) == 1  # factory only on the miss
+        assert lru.stats.hits == 1 and lru.stats.misses == 1
+        assert lru.stats.insertions == 1
+        assert lru.usage == 5
+
+    def test_get_or_insert_atomic_under_contention(self):
+        """Concurrent misses for one key construct the value exactly once
+        (the double-open hazard on the lock-free table-cache path)."""
+        import threading
+
+        from repro.cache.lru import ShardedLRUCache
+
+        cache = ShardedLRUCache(1000, shards=4)
+        constructed = []
+        barrier = threading.Barrier(8)
+
+        def race():
+            barrier.wait()
+            cache.get_or_insert("key", lambda: constructed.append(1) or "v")
+
+        threads = [threading.Thread(target=race) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(constructed) == 1
+
+    def test_invalidate_where_spans_shards(self):
+        from repro.cache.lru import ShardedLRUCache
+
+        cache = ShardedLRUCache(1000, shards=8)
+        for f in range(4):
+            for off in range(10):
+                cache.insert((f, off), b"x", charge=1)
+        assert cache.invalidate_where(lambda key: key[0] == 2) == 10
+        assert len(cache) == 30
+        assert cache.snapshot().invalidations == 10
+
+    def test_shard_count_validation(self):
+        from repro.cache.lru import ShardedLRUCache
+
+        with pytest.raises(ValueError):
+            ShardedLRUCache(100, shards=0)
+        with pytest.raises(ValueError):
+            ShardedLRUCache(-1, shards=2)
+
+
+class TestSnapshotConsistency:
+    def test_lru_snapshot_is_a_copy(self):
+        lru = LRUCache(100)
+        lru.insert("a", 1)
+        snap = lru.snapshot()
+        lru.get("a")
+        assert snap.hits == 0  # the copy does not track later traffic
+        assert lru.stats.hits == 1
+
+    def test_block_and_table_cache_expose_shards(self):
+        cache = BlockCache(1024, shards=4)
+        assert cache.num_shards == 4
+        assert len(cache.shard_snapshots()) == 4
+        fs = SimulatedFS()
+        options = Options(
+            block_size=256, sstable_size=4096, memtable_size=4096, cache_shards=4
+        )
+        tcache = TableCache(fs, options)
+        assert tcache.num_shards == 4
+        assert len(tcache.shard_snapshots()) == 4

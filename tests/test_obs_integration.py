@@ -326,6 +326,47 @@ def test_metrics_cli_rejects_non_store(tmp_path, capsys):
     assert tools_main(["metrics", str(empty)]) == 2
 
 
+def test_metrics_cli_cache_report(tmp_path, capsys):
+    report = {
+        "scenarios": {
+            "locked_1t": {
+                "reader_threads": 1,
+                "block_cache": {"shards": 1, "hits": 5, "misses": 10},
+                "table_cache": {"shards": 1, "hits": 7, "misses": 3},
+            },
+            "lockfree_4t": {
+                "reader_threads": 4,
+                "block_cache": {"shards": 16, "hits": 50, "misses": 100},
+                "table_cache": {
+                    "shards": 16,
+                    "hits": 64,
+                    "misses": 16,
+                    "shard_hits": [4] * 16,
+                },
+            },
+        },
+        "speedup_4t": 2.5,
+    }
+    path = tmp_path / "BENCH_read_scaling.json"
+    path.write_text(json.dumps(report))
+    assert tools_main(["metrics", "--cache-report", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "Cache shard counters" in out
+    assert "lockfree_4t" in out
+    # 16 equal shards: the busiest one holds 1/16 = 6.2% of hits.
+    assert "6.2%" in out
+    assert "4t=2.5x" in out
+
+
+def test_metrics_cli_cache_report_rejects_bad_input(tmp_path, capsys):
+    bad = tmp_path / "not_a_report.json"
+    bad.write_text(json.dumps({"foo": 1}))
+    assert tools_main(["metrics", "--cache-report", str(bad)]) == 2
+    assert tools_main(["metrics", "--cache-report", str(tmp_path / "missing.json")]) == 2
+    # Neither a store nor a report is an argparse-level usage error.
+    assert tools_main(["metrics"]) == 2
+
+
 def test_timeline_cli_subcommand(tmp_path, capsys):
     db = obs_db()
     try:
