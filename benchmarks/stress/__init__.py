@@ -1,0 +1,2 @@
+"""Stress harnesses: long-running robustness drivers (crash consistency,
+fault soak) that are too heavy for the tier-1 unit suite."""

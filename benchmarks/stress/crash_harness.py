@@ -1,0 +1,63 @@
+"""Crash-point consistency stress driver (CI's ``crash-consistency`` job).
+
+Thin front-end over :mod:`repro.tools.crashtest`: runs the harness across
+several seeds, writes ``BENCH_crash_consistency.json`` at the repo root,
+and exits non-zero on any invariant violation.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/stress/crash_harness.py          # full
+    PYTHONPATH=src python benchmarks/stress/crash_harness.py --quick  # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "..", "src"))
+
+from repro.tools.crashtest import run_crash_test  # noqa: E402
+
+REPORT = os.path.join(os.path.dirname(__file__), "..", "..", "BENCH_crash_consistency.json")
+
+#: (num_ops, max_points, seeds) per mode.  Both modes satisfy the
+#: acceptance floor of >= 50 distinct crash points.
+FULL = dict(num_ops=160, max_points=96, seeds=(0, 1, 2))
+QUICK = dict(num_ops=90, max_points=56, seeds=(0,))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI smoke sizes")
+    parser.add_argument("--report", default=REPORT, metavar="PATH")
+    args = parser.parse_args(argv)
+
+    config = QUICK if args.quick else FULL
+    runs = []
+    failed = False
+    for seed in config["seeds"]:
+        report = run_crash_test(
+            num_ops=config["num_ops"], max_points=config["max_points"], seed=seed
+        )
+        print(report.summary())
+        runs.append(report.to_dict())
+        failed = failed or not report.passed
+
+    payload = {
+        "mode": "quick" if args.quick else "full",
+        "total_points_tested": sum(len(r["points_tested"]) for r in runs),
+        "passed": not failed,
+        "runs": runs,
+    }
+    with open(args.report, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+    print(f"\n{payload['total_points_tested']} crash points tested; "
+          f"report: {os.path.abspath(args.report)}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

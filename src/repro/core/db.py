@@ -47,10 +47,15 @@ from ..compaction.table_compaction import (
     run_table_compaction,
     run_trivial_move,
 )
-from ..errors import DBClosedError, InvalidArgumentError, NotFoundError
+from ..errors import (
+    CommitError,
+    DBClosedError,
+    InvalidArgumentError,
+    NotFoundError,
+)
 from ..keys import ComparableKey, seek_comparable
 from ..memtable.memtable import MemTable
-from ..memtable.wal import WalWriter, read_wal
+from ..memtable.wal import WalRecoveryStats, WalWriter, read_wal_tolerant
 from ..metrics.stats import CompactionEvent, DBStats
 from ..obs.histogram import LatencyRegistry
 from ..obs.trace import NULL_TRACER, Tracer
@@ -64,7 +69,7 @@ from ..storage.fs import FileSystem, SimulatedFS
 from ..storage.io_stats import CAT_COMPACTION, CAT_FLUSH, CAT_GET, CAT_SCAN
 from .flush import flush_memtable
 from .iterator import DBIterator, EntryStream
-from .scheduler import BackgroundScheduler
+from .scheduler import BackgroundScheduler, ErrorHandler
 from .snapshot import Snapshot, SnapshotRegistry
 from .superversion import SuperVersion
 from .manifest import (
@@ -203,6 +208,20 @@ class DB:
         self._wal: WalWriter | None = None
         self._log_number = 0
         self._closed = False
+        # Error-severity engine (DESIGN.md §10): classifies failures,
+        # retries transient ones with capped simulated backoff, and owns the
+        # degraded (read-only) state the write paths consult under the
+        # engine lock.
+        self._error_handler = ErrorHandler(
+            fs=self.fs,
+            stats=self.stats,
+            tracer=self.tracer,
+            max_retries=self.options.bg_error_max_retries,
+            backoff_s=self.options.bg_retry_backoff_s,
+            backoff_cap_s=self.options.bg_retry_backoff_cap_s,
+        )
+        #: What tolerant WAL replay salvaged/skipped at the last open.
+        self._wal_recovery = WalRecoveryStats()
 
         # Concurrent-pipeline state (all None/inert in synchronous mode).
         self._pending_log: str | None = None  # frozen memtable's WAL, freed on commit
@@ -224,7 +243,9 @@ class DB:
         self._scheduler: BackgroundScheduler | None = None
         if self.options.background_compaction:
             self._scheduler = BackgroundScheduler(
-                self._background_work, tracer=self.tracer
+                self._background_work,
+                tracer=self.tracer,
+                on_error=self._handle_background_error,
             )
 
     # ------------------------------------------------------------------ setup
@@ -259,11 +280,24 @@ class DB:
                     self._log_number = edit.log_number
                 for level, key in edit.compact_pointers:
                     self.picker.compact_pointer[level] = key
+            # Crash recovery for in-place block appends: an append session
+            # syncs the grown file *before* the manifest edit that makes the
+            # new footer live.  A crash between the two leaves the file
+            # longer on disk than the catalog records — truncating back to
+            # the recorded size restores the previously-live footer at the
+            # tail, which is exactly the state the catalog describes.
+            for _level, meta in self.version.all_files():
+                name = meta.file_name()
+                if self.fs.exists(name) and self.fs.file_size(name) > meta.file_size:
+                    self.fs.truncate_file(name, meta.file_size)
             # Replay EVERY log at or past the manifest's log number, oldest
             # first: a crash between a WAL rotation and the flush landing
             # leaves two live logs (the frozen memtable's and the active
             # one), and both must replay or acknowledged writes in the
-            # newer log would silently vanish.
+            # newer log would silently vanish.  Replay is *tolerant*: it
+            # stops at the first torn or corrupt record (an append whose
+            # ack the client never saw) instead of failing the open, and
+            # counts what it skipped in ``self._wal_recovery``.
             if self._log_number:
                 live_numbers: list[int] = []
                 for name in self.fs.list_dir():
@@ -278,7 +312,9 @@ class DB:
                 for number in sorted(live_numbers):
                     log_name = _log_name(number)
                     old_logs.append(log_name)
-                    for payload in read_wal(self.fs, log_name):
+                    for payload in read_wal_tolerant(
+                        self.fs, log_name, self._wal_recovery
+                    ):
                         batch, base_sequence = WriteBatch.deserialize(payload)
                         sequence = base_sequence
                         for value_type, key, value in batch:
@@ -413,10 +449,24 @@ class DB:
         self._maybe_flush()
 
     def _apply_batch_locked(self, batch: WriteBatch) -> None:
-        """The atomic core of a write: one WAL record, then memtable adds."""
+        """The atomic core of a write: one WAL record, then memtable adds.
+
+        The degraded-mode check lives HERE, under the engine lock, not in
+        the pre-lock fast path: a background error recorded between a
+        writer's pre-check and its critical section must still refuse the
+        batch (the bg_error propagation race)."""
+        self._error_handler.check_writable()
         base_sequence = self._sequence + 1
         if self._wal is not None:
-            self._wal.add_record(batch.serialize(base_sequence))
+            try:
+                self._wal.add_record(batch.serialize(base_sequence))
+            except BaseException as exc:  # noqa: BLE001 - log integrity
+                # A failed append may leave a torn frame mid-log; appending
+                # more records behind it would make them unrecoverable
+                # (replay stops at the tear), so ANY WAL failure — even a
+                # transient one — degrades the DB instead of retrying.
+                self._error_handler.record(exc, "wal", retryable=False)
+                raise
         sequence = base_sequence
         for value_type, key, value in batch:
             self._memtable.add(sequence, value_type, key, value)
@@ -430,8 +480,11 @@ class DB:
 
     def _write_concurrent(self, batch: WriteBatch) -> None:
         """Concurrent-pipeline write: throttle on L0 pressure, apply, and
-        freeze (never flush) — the background worker does the heavy work."""
-        self._scheduler.raise_if_failed()
+        freeze (never flush) — the background worker does the heavy work.
+
+        The pre-lock check is only a fast-fail; the authoritative degraded
+        check runs inside ``_apply_batch_locked`` under the engine lock."""
+        self._error_handler.check_writable()
         self._throttle_l0()
         with self._lock:
             self._apply_batch_locked(batch)
@@ -468,7 +521,7 @@ class DB:
             tracer.begin("group_commit", "write", {"writers": len(group), "bytes": size})
         try:
             if self._scheduler is not None:
-                self._scheduler.raise_if_failed()
+                self._error_handler.check_writable()
                 self._throttle_l0()
             with self._lock:
                 self._apply_group_locked(group)
@@ -492,13 +545,20 @@ class DB:
             raise error
 
     def _apply_group_locked(self, group: list[_GroupWriter]) -> None:
+        self._error_handler.check_writable()
         payloads: list[bytes] = []
         sequence = self._sequence + 1
         for member in group:
             payloads.append(member.batch.serialize(sequence))
             sequence += len(member.batch)
         if self._wal is not None:
-            self._wal.add_records(payloads)
+            try:
+                self._wal.add_records(payloads)
+            except BaseException as exc:  # noqa: BLE001 - log integrity
+                # Same rule as _apply_batch_locked: a torn group frame makes
+                # the log tail unrecoverable, so degrade rather than retry.
+                self._error_handler.record(exc, "wal", retryable=False)
+                raise
         sequence = self._sequence + 1
         stats = self.stats
         for member in group:
@@ -592,7 +652,7 @@ class DB:
         if self._scheduler is None:
             with self._lock:
                 return self._flush_locked()
-        self._scheduler.raise_if_failed()
+        self._error_handler.check_writable()
         with self._lock:
             if self._immutable is None:
                 if len(self._memtable) == 0:
@@ -603,15 +663,32 @@ class DB:
             while self._immutable is not None and self._scheduler.error is None:
                 self._flush_cv.wait(timeout=0.05)
             meta = self._last_flush_meta
+        self._error_handler.check_writable()
         self._scheduler.raise_if_failed()
         return meta
 
     def _flush_locked(self) -> FileMetadata | None:
         if len(self._memtable) == 0:
             return None
+        self._error_handler.check_writable()
         old_log = self._freeze_locked()
-        meta = self._build_flush()
+        meta = self._retry_transient(self._build_flush, "flush")
         return self._commit_flush_locked(meta, old_log)
+
+    def _retry_transient(self, fn, context: str):
+        """Synchronous-mode analogue of the background worker's retry loop:
+        run ``fn``, retrying while the severity engine says the failure is
+        transient (each retry charges capped exponential backoff to the
+        simulated clock), raising once it degrades."""
+        while True:
+            try:
+                result = fn()
+            except BaseException as exc:  # noqa: BLE001 - severity-routed
+                if self._error_handler.record(exc, context):
+                    continue
+                raise
+            self._error_handler.note_success()
+            return result
 
     def _freeze_locked(self) -> str | None:
         """Freeze the active memtable into ``_immutable`` and rotate the
@@ -639,17 +716,31 @@ class DB:
         file_number = self.new_file_number()
         tracer = self.tracer
         if not tracer.enabled:
-            return flush_memtable(
-                self.fs, self.options, immutable, file_number, self.snapshot_boundaries()
-            )
+            return self._build_flush_file(immutable, file_number)
         tracer.begin("flush.build", "flush", {"file": file_number, "entries": len(immutable)})
         try:
-            meta = flush_memtable(
-                self.fs, self.options, immutable, file_number, self.snapshot_boundaries()
-            )
+            meta = self._build_flush_file(immutable, file_number)
         finally:
             tracer.end("flush.build", "flush")
         return meta
+
+    def _build_flush_file(
+        self, immutable: MemTable, file_number: int
+    ) -> FileMetadata | None:
+        """One flush-build attempt; a failure deletes the partial table so a
+        retry (which takes a fresh file number) leaves no orphan behind."""
+        try:
+            return flush_memtable(
+                self.fs, self.options, immutable, file_number, self.snapshot_boundaries()
+            )
+        except BaseException:
+            name = f"{file_number:06d}.sst"
+            try:
+                if self.fs.exists(name):
+                    self.fs.delete_file(name)
+            except Exception:  # noqa: BLE001 - best-effort cleanup
+                pass
+            raise
 
     def _commit_flush_locked(
         self, meta: FileMetadata | None, old_log: str | None
@@ -699,7 +790,17 @@ class DB:
     def _apply_edit(self, edit: VersionEdit) -> None:
         self.version.apply(edit)
         assert self._manifest is not None
-        self._manifest.log_edit(edit)
+        try:
+            self._manifest.log_edit(edit)
+        except BaseException as exc:  # noqa: BLE001 - commit divergence
+            # The in-memory version already advanced but the durable catalog
+            # did not: retrying in place can't reconcile them, so this is a
+            # fatal commit failure — the DB degrades and only a reopen (which
+            # rebuilds from the durable state) truly clears it.
+            commit_exc = CommitError(f"manifest commit failed: {exc}")
+            commit_exc.__cause__ = exc
+            self._error_handler.record(commit_exc, "commit")
+            raise commit_exc from exc
         self._install_superversion_locked()
 
     # ------------------------------------------------------------------ superversions
@@ -782,12 +883,18 @@ class DB:
         return task
 
     def _run_due_compactions(self) -> None:
-        """Run compactions until every level is within its trigger."""
+        """Run compactions until every level is within its trigger.
+
+        Each task runs under the transient-retry loop: a compaction that
+        failed before its commit left the version untouched (outputs are
+        orphans), so re-running it from scratch is safe; a failure *during*
+        commit surfaces as a fatal :class:`CommitError` and is never
+        retried."""
         while True:
             task = self._pick_compaction()
             if task is None:
                 break
-            self.run_compaction(task)
+            self._retry_transient(lambda: self.run_compaction(task), "compaction")
             # Safe point between tasks: no task in flight references any
             # file, so auxiliary maintenance (L2SM's log drain) may compact.
             self._post_compaction_maintenance()
@@ -824,6 +931,7 @@ class DB:
                     self._pending_log = None
                     self._last_flush_meta = meta
                     self._flush_cv.notify_all()
+                self._error_handler.note_success()
                 continue
             with self._lock:
                 if self._closed:
@@ -836,6 +944,22 @@ class DB:
                 self._commit_compaction(task, result)
                 self._post_compaction_maintenance()
                 self._l0_cv.notify_all()
+            self._error_handler.note_success()
+
+    def _handle_background_error(self, exc: BaseException) -> bool:
+        """Scheduler ``on_error`` hook: route a failed background round
+        through the severity engine.  True = retry the round (the frozen
+        memtable / pending compaction is still there, so re-entering
+        ``_background_work`` re-attempts exactly the failed unit); False =
+        park the worker, leaving the DB read-only until resume()."""
+        retry = self._error_handler.record(exc)
+        if not retry:
+            # Wake anyone blocked on the flush/stop conditions: the error
+            # state is what unblocks them now.
+            with self._lock:
+                self._flush_cv.notify_all()
+                self._l0_cv.notify_all()
+        return retry
 
     def wait_for_background(self, timeout: float | None = None) -> bool:
         """Block until queued background flush/compaction work has drained
@@ -887,6 +1011,7 @@ class DB:
         being the sole routine mutator is what makes its lock-free
         execution safe)."""
         self._check_open()
+        self._error_handler.check_writable()
         with self._background_paused():
             with self._lock:
                 result = self._execute_compaction(task)
@@ -1822,6 +1947,39 @@ class DB:
         """Resident index/filter bytes (paper Fig 15)."""
         return self.table_cache.memory_cost()
 
+    def health(self) -> dict:
+        """Liveness/error snapshot (DESIGN.md §10).
+
+        ``state`` is the severity engine's state machine (``ok`` /
+        ``retrying`` / ``degraded``); ``wal_recovery`` reports what tolerant
+        WAL replay salvaged and skipped at the last open.
+        """
+        report = self._error_handler.health()
+        report["closed"] = self._closed
+        report["wal_recovery"] = {
+            "records": self._wal_recovery.records,
+            "bytes_replayed": self._wal_recovery.bytes_replayed,
+            "bytes_skipped": self._wal_recovery.bytes_skipped,
+            "corrupt": self._wal_recovery.corrupt,
+        }
+        return report
+
+    def resume(self) -> bool:
+        """Attempt to leave degraded (read-only) mode.
+
+        Call once the underlying fault is believed cleared.  Clears the
+        severity engine, revives a parked background worker, and returns
+        True if there was anything to clear.  Durable state is rebuilt
+        from disk only on a reopen — resume() trusts the in-memory state,
+        which is exactly what hard (non-fatal) errors leave intact.
+        """
+        self._check_open()
+        cleared = self._error_handler.clear()
+        if self._scheduler is not None:
+            self._scheduler.reset_error()
+            self._scheduler.wake()
+        return cleared
+
     def debug_string(self) -> str:
         """Multi-line summary of the tree and counters (LevelDB's
         ``GetProperty("leveldb.stats")`` equivalent)."""
@@ -1858,6 +2016,13 @@ class DB:
             f"stalls: events={s.stall_events} stops={s.stall_stops} "
             f"stall-time={s.stall_time_s:.3f} s"
         )
+        health = self._error_handler.health()
+        if health["state"] != "ok" or s.bg_failures:
+            lines.append(
+                f"health: state={health['state']} severity={health['severity']} "
+                f"failures={s.bg_failures} retries={s.bg_retries} "
+                f"resumes={s.bg_resumes} error={health['error']}"
+            )
         io = self.io_stats
         per_cat = ", ".join(
             f"{name}={counters.bytes_written + counters.bytes_read}"

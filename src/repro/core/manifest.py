@@ -145,6 +145,9 @@ def set_current(fs: FileSystem, manifest_number: int) -> None:
     tmp = "CURRENT.tmp"
     f = fs.create_file(tmp, category="manifest")
     f.append(manifest_file_name(manifest_number).encode() + b"\n", category="manifest")
+    # Sync before the rename: renaming an un-synced file would leave a
+    # CURRENT that a crash could empty (the classic set_current bug).
+    f.sync()
     f.close()
     fs.rename(tmp, CURRENT_FILE)
 

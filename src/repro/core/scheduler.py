@@ -21,9 +21,12 @@ version.  Intra-compaction parallelism comes from
 pool), matching LevelDB's one-background-thread architecture with the
 paper's Parallel Merging layered inside it.
 
-A failure in background work is remembered and re-raised on the next
-foreground write or flush (LevelDB's ``bg_error_``); the worker stops, and
-the DB keeps serving reads.
+A failure in background work is routed through the ``on_error`` callback
+(the DB's severity engine): transient failures are retried in place —
+the worker survives and re-runs ``work_fn`` after the callback's backoff —
+while hard/fatal ones park the worker with the error stored (LevelDB's
+``bg_error_``), leaving the DB serving reads in degraded mode until
+:meth:`BackgroundScheduler.reset_error` (``DB.resume``) revives it.
 """
 
 from __future__ import annotations
@@ -31,7 +34,182 @@ from __future__ import annotations
 import threading
 from typing import Callable
 
+from ..errors import SEVERITY_TRANSIENT, ReadOnlyError, classify_severity
 from ..obs.trace import NULL_TRACER
+
+#: :class:`ErrorHandler` states (its degraded-mode state machine).
+STATE_OK = "ok"
+STATE_RETRYING = "retrying"
+STATE_DEGRADED = "degraded"
+
+
+class ErrorHandler:
+    """Severity-driven failure policy (RocksDB ``ErrorHandler`` analogue).
+
+    State machine::
+
+        ok --transient failure--> retrying --success--> ok   (auto-resume)
+        retrying --retries exhausted--> degraded
+        ok|retrying --hard/fatal failure--> degraded
+        degraded --clear() after the fault is fixed--> ok
+
+    In ``degraded`` the DB is read-only: :meth:`check_writable` raises
+    :class:`ReadOnlyError` on the write/flush/compact paths while reads
+    keep serving the last consistent state.  Retries charge capped
+    exponential backoff to the *simulated* clock (``fs.charge_time``), so
+    deterministic runs stay deterministic and the retry cost shows up in
+    the same time accounting as the I/O it delays.
+
+    Thread-safety: internally locked; called from foreground writers, the
+    background worker, and ``DB.resume()``.
+    """
+
+    def __init__(
+        self,
+        *,
+        fs,
+        stats,
+        tracer=NULL_TRACER,
+        max_retries: int = 8,
+        backoff_s: float = 0.01,
+        backoff_cap_s: float = 1.0,
+    ):
+        self._fs = fs
+        self._stats = stats
+        self._tracer = tracer
+        self.max_retries = max_retries
+        self.backoff_s = backoff_s
+        self.backoff_cap_s = backoff_cap_s
+        self._lock = threading.Lock()
+        self.state = STATE_OK
+        self.severity: str | None = None
+        self.last_error: BaseException | None = None
+        #: Consecutive failed attempts in the current retry episode.
+        self.attempts = 0
+        #: Lifetime retry count (monotonic, for health/tests).
+        self.total_retries = 0
+
+    @property
+    def degraded(self) -> bool:
+        return self.state == STATE_DEGRADED
+
+    def record(
+        self, exc: BaseException, context: str = "background", *, retryable: bool = True
+    ) -> bool:
+        """Fold one failure into the state machine.
+
+        Returns True when the caller should retry the failed work (the
+        backoff has already been charged); False when the DB just entered
+        (or stays in) degraded mode.  Pass ``retryable=False`` to force a
+        degrade even for a transient error (e.g. a torn WAL append, which
+        must never be papered over by a retry).
+        """
+        severity = classify_severity(exc)
+        with self._lock:
+            if self.state == STATE_DEGRADED and exc is self.last_error:
+                # The same failure surfacing through a second layer (e.g. a
+                # CommitError recorded inline, then again by the scheduler's
+                # on_error) is one event, not two.
+                return False
+            self._stats.bg_failures += 1
+            self.last_error = exc
+            self.severity = severity
+            retryable = (
+                retryable
+                and severity == SEVERITY_TRANSIENT
+                and self.attempts < self.max_retries
+            )
+            if retryable:
+                self.attempts += 1
+                self.total_retries += 1
+                self._stats.bg_retries += 1
+                self.state = STATE_RETRYING
+                attempt = self.attempts
+                delay = min(self.backoff_s * (2 ** (attempt - 1)), self.backoff_cap_s)
+            else:
+                if self.state != STATE_DEGRADED:
+                    self.state = STATE_DEGRADED
+                    self._stats.degraded_entries += 1
+        if not retryable:
+            if self._tracer.enabled:
+                self._tracer.instant(
+                    "error.degraded",
+                    "error",
+                    {"context": context, "severity": severity, "error": str(exc)},
+                )
+            return False
+        if self._tracer.enabled:
+            self._tracer.instant(
+                "error.retry",
+                "error",
+                {
+                    "context": context,
+                    "attempt": attempt,
+                    "backoff_s": delay,
+                    "error": str(exc),
+                },
+            )
+        # Simulated-clock aware: the wait costs simulated seconds, not wall
+        # time (in realtime mode charge_time also sleeps proportionally).
+        self._fs.charge_time(delay, "retry")
+        return True
+
+    def note_success(self) -> None:
+        """A unit of background work succeeded: close any retry episode."""
+        with self._lock:
+            if self.state != STATE_RETRYING:
+                return
+            self.state = STATE_OK
+            self.attempts = 0
+            self.severity = None
+            self.last_error = None
+            self._stats.bg_resumes += 1
+        if self._tracer.enabled:
+            self._tracer.instant("error.resume", "error", {"reason": "retry-succeeded"})
+
+    def check_writable(self) -> None:
+        """Raise :class:`ReadOnlyError` when the DB is degraded.
+
+        Must be called *under the engine lock* on every path that mutates
+        state, so a background error set between a caller's pre-check and
+        its critical section is still observed (the bg_error race fix).
+        """
+        with self._lock:
+            if self.state != STATE_DEGRADED:
+                return
+            error = self.last_error
+            severity = self.severity
+        raise ReadOnlyError(
+            f"DB is read-only after a {severity} background error: {error}"
+        ) from error
+
+    def clear(self) -> bool:
+        """Manual resume (``DB.resume``): leave degraded/retrying state.
+
+        Returns False when there was nothing to clear.
+        """
+        with self._lock:
+            if self.state == STATE_OK:
+                return False
+            self.state = STATE_OK
+            self.attempts = 0
+            self.severity = None
+            self.last_error = None
+            self._stats.bg_resumes += 1
+        if self._tracer.enabled:
+            self._tracer.instant("error.resume", "error", {"reason": "manual"})
+        return True
+
+    def health(self) -> dict:
+        """Snapshot for ``DB.health()``."""
+        with self._lock:
+            return {
+                "state": self.state,
+                "writable": self.state != STATE_DEGRADED,
+                "severity": self.severity,
+                "error": str(self.last_error) if self.last_error else None,
+                "retries": self.total_retries,
+            }
 
 
 class BackgroundScheduler:
@@ -43,6 +221,11 @@ class BackgroundScheduler:
 
     ``tracer`` (optional) records one ``bg.round`` span per worker round,
     which is what makes background work visible as its own timeline lane.
+
+    ``on_error`` (optional) is consulted when ``work_fn`` raises: return
+    True to retry the round (the callback sleeps/charges any backoff
+    itself), False to park the worker with the error stored.  Without a
+    callback every failure parks the worker.
     """
 
     def __init__(
@@ -51,15 +234,18 @@ class BackgroundScheduler:
         *,
         name: str = "repro-background",
         tracer=NULL_TRACER,
+        on_error: Callable[[BaseException], bool] | None = None,
     ):
         self._work_fn = work_fn
         self._tracer = tracer
+        self._on_error = on_error
         self._cv = threading.Condition()
         self._work_due = False
         self._idle = True
         self._paused = 0
         self._closed = False
-        #: First exception raised by background work; the worker halts on it.
+        #: Unrecovered exception from background work; the worker parks on
+        #: it (cleared by :meth:`reset_error`).
         self.error: BaseException | None = None
         self._thread = threading.Thread(target=self._loop, name=name, daemon=True)
         self._thread.start()
@@ -125,6 +311,21 @@ class BackgroundScheduler:
         if self.error is not None:
             raise self.error
 
+    def reset_error(self) -> bool:
+        """Clear a stored background failure and revive the parked worker.
+
+        The DB's ``resume()`` path calls this once the underlying fault is
+        believed cleared.  Returns False if there was nothing to clear.
+        """
+        with self._cv:
+            if self.error is None:
+                return False
+            self.error = None
+            if not self._closed:
+                self._work_due = True
+                self._cv.notify_all()
+            return True
+
     def close(self, timeout: float = 60.0) -> None:
         """Stop the worker, letting an in-flight round finish."""
         with self._cv:
@@ -153,12 +354,24 @@ class BackgroundScheduler:
                 tracer.begin("bg.round", "background")
             try:
                 self._work_fn()
-            except BaseException as exc:  # noqa: BLE001 - stored, re-raised on write
+            except BaseException as exc:  # noqa: BLE001 - routed to on_error
+                retry = False
+                if self._on_error is not None:
+                    try:
+                        retry = bool(self._on_error(exc))
+                    except BaseException as handler_exc:  # noqa: BLE001
+                        exc = handler_exc
+                        retry = False
                 with self._cv:
-                    self.error = exc
-                    self._idle = True
-                    self._cv.notify_all()
-                return
+                    if retry and not self._closed:
+                        # Transient: go around again (the callback already
+                        # slept/charged the backoff).
+                        self._work_due = True
+                    else:
+                        # Park with the error stored; reset_error() revives.
+                        self.error = exc
+                        self._idle = True
+                        self._cv.notify_all()
             finally:
                 if tracer.enabled:
                     tracer.end("bg.round", "background")

@@ -35,6 +35,71 @@ class FileSystemError(ReproError):
     """A simulated or real filesystem operation failed."""
 
 
+class TransientIOError(FileSystemError):
+    """A filesystem operation failed in a way expected to clear on retry.
+
+    Raised by :class:`~repro.storage.faults.FaultInjectionFS` for faults
+    declared transient; a real backend would map ``EAGAIN``/``ENOSPC``-class
+    conditions here.  The severity engine retries these with capped
+    exponential backoff instead of failing the DB (RocksDB's
+    ``Status::Severity::kSoftError`` analogue).
+    """
+
+
+class SimulatedCrashError(ReproError):
+    """The fault-injection filesystem simulated a whole-process crash.
+
+    Every un-synced byte was dropped; the DB object that observed this is
+    dead and must be abandoned.  Reopen the store (after
+    ``FaultInjectionFS.heal``) to recover.
+    """
+
+
+class ReadOnlyError(ReproError):
+    """The DB is in degraded (read-only) mode after a hard background error.
+
+    Reads and scans still serve the last consistent state; writes, flushes
+    and manual compactions are refused until the fault is cleared and
+    ``DB.resume()`` succeeds.
+    """
+
+
+class CommitError(ReproError):
+    """A failure while durably committing a version edit (manifest write).
+
+    Commit failures are never retried in place: the in-memory version may
+    already differ from the durable manifest, so the only safe responses
+    are degraded mode or a reopen.  Always classified :data:`SEVERITY_HARD`
+    or worse.
+    """
+
+
+# --- error severity (RocksDB ErrorHandler analogue) -------------------------
+
+#: Expected to clear by itself; background work retries with backoff.
+SEVERITY_TRANSIENT = "transient"
+#: Persistent environment failure; the DB degrades to read-only but its
+#: in-memory state is still trustworthy.
+SEVERITY_HARD = "hard"
+#: The store's durable state can no longer be trusted (corruption, commit
+#: divergence); degraded mode, and only a reopen/repair may clear it.
+SEVERITY_FATAL = "fatal"
+
+
+def classify_severity(exc: BaseException) -> str:
+    """Map an exception to a severity bucket.
+
+    The order matters: :class:`TransientIOError` subclasses
+    :class:`FileSystemError`, and :class:`CommitError` outranks the cause
+    chained into it.
+    """
+    if isinstance(exc, (CorruptionError, CommitError)):
+        return SEVERITY_FATAL
+    if isinstance(exc, TransientIOError):
+        return SEVERITY_TRANSIENT
+    return SEVERITY_HARD
+
+
 class WriteStallError(ReproError):
     """Raised when writes are stopped and the caller opted out of waiting.
 

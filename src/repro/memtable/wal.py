@@ -9,6 +9,7 @@ stream.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Iterator
 
 from ..encoding import BufferWriter, crc32c, decode_fixed32, decode_varint
@@ -48,6 +49,9 @@ class WalWriter:
         writer.length_prefixed(payload)
         self.records_written += 1
         self._file.append(writer.getvalue(), category=CAT_WAL)
+        # The write is acked only once durable: sync per record, so a crash
+        # can tear at most the record whose ack the client never saw.
+        self._file.sync()
 
     def add_records(self, payloads: list[bytes]) -> None:
         """Frame every payload and append them all in ONE device write.
@@ -71,6 +75,8 @@ class WalWriter:
                 "wal.group", "wal", {"records": len(payloads), "bytes": len(framed)}
             )
         self._file.append(framed, category=CAT_WAL)
+        # One barrier for the whole group — same amortization as the append.
+        self._file.sync()
 
     def size(self) -> int:
         return self._file.size()
@@ -111,3 +117,72 @@ def read_wal(fs: FileSystem, name: str) -> Iterator[bytes]:
             raise CorruptionError(f"WAL record at offset {offset} failed checksum")
         yield payload
         offset = payload_end
+
+
+@dataclass
+class WalRecoveryStats:
+    """What tolerant WAL replay salvaged and what it gave up on."""
+
+    #: Intact records replayed.
+    records: int = 0
+    #: Bytes of the log covered by replayed records (frames included).
+    bytes_replayed: int = 0
+    #: Bytes abandoned at the tail (torn frame, or everything after the
+    #: first record that failed its checksum).
+    bytes_skipped: int = 0
+    #: True when the tail was cut by a CRC mismatch rather than a clean
+    #: truncation — evidence of real corruption, not just a crash.
+    corrupt: bool = False
+
+    def merge(self, other: "WalRecoveryStats") -> None:
+        self.records += other.records
+        self.bytes_replayed += other.bytes_replayed
+        self.bytes_skipped += other.bytes_skipped
+        self.corrupt = self.corrupt or other.corrupt
+
+
+def read_wal_tolerant(
+    fs: FileSystem, name: str, stats: WalRecoveryStats | None = None
+) -> Iterator[bytes]:
+    """Yield intact record payloads, stopping at the first bad record.
+
+    Crash-recovery variant of :func:`read_wal`: a record that fails its CRC
+    ends replay at the last good record instead of raising — the damage and
+    everything behind it is counted in ``stats.bytes_skipped`` (and flagged
+    ``corrupt``).  A write whose frame never fully landed was never acked,
+    so dropping the tail cannot lose an acknowledged write.  The manifest
+    replay path keeps the strict reader: a torn catalog is not safely
+    truncatable mid-stream.
+    """
+    if stats is None:
+        stats = WalRecoveryStats()
+    handle = fs.open_random(name)
+    try:
+        size = handle.size()
+        data = handle.read(0, size, category=CAT_WAL, sequential=True) if size else b""
+    finally:
+        handle.close()
+
+    offset = 0
+    replayed = 0
+    while offset < len(data):
+        if offset + _HEADER_CRC_BYTES > len(data):
+            break  # torn header
+        expected_crc = decode_fixed32(data, offset)
+        try:
+            length, payload_start = decode_varint(data, offset + _HEADER_CRC_BYTES)
+        except CorruptionError:
+            break  # torn length varint
+        payload_end = payload_start + length
+        if payload_end > len(data):
+            break  # torn payload
+        payload = data[payload_start:payload_end]
+        if crc32c(payload) != expected_crc:
+            stats.corrupt = True
+            break
+        stats.records += 1
+        replayed = payload_end
+        yield payload
+        offset = payload_end
+    stats.bytes_replayed += replayed
+    stats.bytes_skipped += len(data) - replayed

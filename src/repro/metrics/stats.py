@@ -88,6 +88,17 @@ class DBStats:
     obsolete_scans: int = 0
     obsolete_files_deleted: int = 0
 
+    # error handling (severity engine)
+    #: Background failures observed (any severity).
+    bg_failures: int = 0
+    #: Transient failures retried with backoff.
+    bg_retries: int = 0
+    #: Recoveries: a retry succeeded (auto-resume) or ``DB.resume()`` cleared
+    #: a degraded state.
+    bg_resumes: int = 0
+    #: Times the DB entered degraded (read-only) mode.
+    degraded_entries: int = 0
+
     events: list[CompactionEvent] = field(default_factory=list)
     #: Peak total file bytes observed (space-amplification numerator).
     max_space_bytes: int = 0

@@ -210,6 +210,16 @@ class Options:
     #: ``debug_string`` and the Prometheus exporter.
     latency_histograms: bool = False
 
+    # --- Error handling (DESIGN.md §10) ----------------------------------------
+    #: Max consecutive retries of a transient background failure before the
+    #: DB gives up and degrades to read-only.
+    bg_error_max_retries: int = 8
+    #: Base of the capped exponential retry backoff, in *simulated* seconds
+    #: (attempt N waits ``min(base * 2**(N-1), cap)``).
+    bg_retry_backoff_s: float = 0.01
+    #: Cap on a single retry backoff, simulated seconds.
+    bg_retry_backoff_cap_s: float = 1.0
+
     # --- Misc -------------------------------------------------------------------
     paranoid_checks: bool = False
 
@@ -282,6 +292,10 @@ class Options:
             raise InvalidArgumentError("group_commit_max_bytes must be >= 1")
         if self.trace_buffer_capacity < 16:
             raise InvalidArgumentError("trace_buffer_capacity must be >= 16")
+        if self.bg_error_max_retries < 0:
+            raise InvalidArgumentError("bg_error_max_retries must be >= 0")
+        if self.bg_retry_backoff_s < 0 or self.bg_retry_backoff_cap_s < 0:
+            raise InvalidArgumentError("retry backoff values must be >= 0")
         if len(self.selective_thresholds) < self.max_levels:
             raise InvalidArgumentError("selective_thresholds must cover every level")
         for t in self.selective_thresholds:

@@ -202,6 +202,10 @@ class AppendSession:
         )
         self._file.append(footer.serialize())
         self._offset += len(footer.serialize())
+        # Durability point before the manifest commit.  A crash between this
+        # barrier and the manifest edit leaves an appended tail whose footer
+        # is not yet live — recovery truncates back to the recorded size.
+        self._file.sync()
         self._file.close()
 
         return AppendResult(

@@ -174,6 +174,9 @@ class TableBuilder:
         )
         self._file.append(footer.serialize())
         self._offset += len(footer.serialize())
+        # Durability point: the table must be on disk before the manifest
+        # edit that makes it live can reference it.
+        self._file.sync()
         self._file.close()
 
         return TableInfo(

@@ -1,6 +1,7 @@
 """Storage substrate: filesystems, I/O accounting, and the SSD cost model."""
 
 from .device_model import DeviceModel
+from .faults import FaultInjectionFS, FaultPolicy, FaultRule
 from .fs import FileSystem, LocalFS, RandomAccessFile, SimulatedFS, WritableFile
 from .io_stats import (
     CAT_COMPACTION,
@@ -16,6 +17,9 @@ from .io_stats import (
 
 __all__ = [
     "DeviceModel",
+    "FaultInjectionFS",
+    "FaultPolicy",
+    "FaultRule",
     "FileSystem",
     "LocalFS",
     "RandomAccessFile",

@@ -56,6 +56,19 @@ class WritableFile:
                 args={"file": self._name, "bytes": len(data), "category": cat},
             )
 
+    def sync(self) -> None:
+        """Durability barrier: all bytes appended so far survive a crash.
+
+        The WAL, manifest, and table build/append paths call this at their
+        declared durability points.  On the plain backends it is free of
+        device time (the analytic model folds persistence into the write
+        cost); :class:`~repro.storage.faults.FaultInjectionFS` gives it
+        teeth — un-synced bytes are exactly what a simulated crash drops.
+        """
+        if self._closed:
+            raise FileSystemError(f"sync of closed file {self._name!r}")
+        self._fs.sync_file(self._name)
+
     def size(self) -> int:
         return self._fs.file_size(self._name)
 
@@ -201,6 +214,25 @@ class FileSystem(ABC):
         self.charge_time(self.device.file_open_cost, category)
         return RandomAccessFile(self, name)
 
+    def sync_file(self, name: str) -> None:
+        """Make every byte of ``name`` durable (see ``WritableFile.sync``)."""
+        with self._lock:
+            if not self.exists(name):
+                raise FileSystemError(f"sync of missing file {name!r}")
+            self.stats.syncs += 1
+            self._sync(name)
+
+    def truncate_file(self, name: str, size: int) -> None:
+        """Drop bytes past ``size`` — crash recovery's tool for discarding a
+        torn tail (an in-place append whose commit never landed).  Charges
+        nothing: it only runs on the recovery path, never in steady state."""
+        with self._lock:
+            if size < 0 or size > self.file_size(name):
+                raise FileSystemError(
+                    f"truncate of {name!r} to {size} outside [0, {self.file_size(name)}]"
+                )
+            self._truncate(name, size)
+
     def delete_file(self, name: str) -> None:
         with self._lock:
             self._delete(name)
@@ -243,12 +275,35 @@ class FileSystem(ABC):
     @abstractmethod
     def rename(self, old: str, new: str) -> None: ...
 
+    def _sync(self, name: str) -> None:
+        """Backend durability hook; a no-op for the plain backends (their
+        bytes are 'durable' the moment they land)."""
+
+    def _truncate(self, name: str, size: int) -> None:
+        raise FileSystemError(f"{type(self).__name__} does not support truncate")
+
     # -- derived ----------------------------------------------------------
 
     def total_file_bytes(self) -> int:
         """Sum of all current file sizes (space-amplification numerator)."""
         with self._lock:
             return sum(self.file_size(n) for n in self.list_dir())
+
+    def digest(self) -> str:
+        """SHA-256 over every (name, content) pair — a bit-exact fingerprint
+        of the store used by the no-fault equivalence tests.  Bypasses the
+        accounting (``_read``), so digesting perturbs no metrics."""
+        import hashlib
+
+        h = hashlib.sha256()
+        with self._lock:
+            for name in self.list_dir():
+                size = self.file_size(name)
+                h.update(name.encode())
+                h.update(size.to_bytes(8, "little"))
+                if size:
+                    h.update(self._read(name, 0, size))
+        return h.hexdigest()
 
 
 class SimulatedFS(FileSystem):
@@ -314,6 +369,12 @@ class SimulatedFS(FileSystem):
                 self._files[new] = self._files.pop(old)
             except KeyError:
                 raise FileSystemError(f"rename of missing file {old!r}") from None
+
+    def _truncate(self, name: str, size: int) -> None:
+        try:
+            del self._files[name][size:]
+        except KeyError:
+            raise FileSystemError(f"truncate of missing file {name!r}") from None
 
 
 class LocalFS(FileSystem):
@@ -387,3 +448,18 @@ class LocalFS(FileSystem):
             os.replace(self._path(old), self._path(new))
         except FileNotFoundError:
             raise FileSystemError(f"rename of missing file {old!r}") from None
+
+    def _sync(self, name: str) -> None:
+        # Appends reopen+close the file per op (data already flushed), so
+        # only the durability fence itself remains.
+        fd = os.open(self._path(name), os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def _truncate(self, name: str, size: int) -> None:
+        try:
+            os.truncate(self._path(name), size)
+        except FileNotFoundError:
+            raise FileSystemError(f"truncate of missing file {name!r}") from None

@@ -45,6 +45,9 @@ class IOStats:
     sequential_reads: int = 0
     files_created: int = 0
     files_deleted: int = 0
+    #: Durability barriers requested (``WritableFile.sync``).  Each one is a
+    #: distinct crash point for the crash-consistency harness.
+    syncs: int = 0
     dir_scans: int = 0
     dir_scan_entries: int = 0
     #: Simulated device seconds, charged by the :class:`DeviceModel`.

@@ -7,11 +7,13 @@ Usage::
     python -m repro.tools metrics <store-dir>
     python -m repro.tools metrics --cache-report BENCH_read_scaling.json
     python -m repro.tools timeline <trace.jsonl> [--json] [--width N] [--fs]
+    python -m repro.tools crashtest [--quick] [--json PATH]
 
 The first two forms are the original table/manifest dumpers; ``metrics``
 replays a store's manifest into a per-level amplification report without
-opening the DB, and ``timeline`` renders an exported trace (JSONL from
-``Tracer.export_jsonl``) as an ASCII Gantt chart or span JSON.
+opening the DB, ``timeline`` renders an exported trace (JSONL from
+``Tracer.export_jsonl``) as an ASCII Gantt chart or span JSON, and
+``crashtest`` runs the crash-point consistency harness (DESIGN.md §10).
 """
 
 from __future__ import annotations
@@ -27,7 +29,7 @@ from .metrics_report import format_cache_report, format_store_report
 from .sst_dump import describe_manifest, describe_table, dump_table
 
 #: Subcommand names dispatched before the legacy positional parser.
-_SUBCOMMANDS = ("metrics", "timeline")
+_SUBCOMMANDS = ("metrics", "timeline", "crashtest")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -135,6 +137,10 @@ def main(argv: list[str] | None = None) -> int:
         return _run_metrics(argv[1:])
     if argv and argv[0] == "timeline":
         return _run_timeline(argv[1:])
+    if argv and argv[0] == "crashtest":
+        from .crashtest import run_crashtest_cli
+
+        return run_crashtest_cli(argv[1:])
 
     args = build_parser().parse_args(argv)
     fs = LocalFS(args.store)

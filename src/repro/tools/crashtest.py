@@ -1,0 +1,411 @@
+"""Crash-point consistency harness.
+
+Enumerates every durability barrier (``sync``) a seeded workload crosses,
+then replays the workload once per barrier with a simulated power-cut at
+exactly that point (:class:`~repro.storage.faults.FaultInjectionFS` with
+``crash_at_sync``), heals the filesystem, reopens the store, and checks
+the recovery invariants:
+
+1. **No acked-durable write lost** — every operation that returned before
+   the crash is readable with the value it wrote (the per-record WAL sync
+   means an acknowledged write's barrier has landed).
+2. **No half-visible write** — the operation in flight at the crash is
+   atomic: after recovery its keys all show the new values or all show the
+   old ones, never a mix.
+3. **Clean structure** — a full scan succeeds (every block checksum
+   verifies) and agrees with the point reads.
+4. **Repair convergence** — :func:`~repro.tools.repair.repair_store` on a
+   copy of the crashed files produces a store whose contents equal the
+   normally-recovered one (repair never needs the manifest the crash may
+   have torn).
+
+A crash *between* two barriers is equivalent to a crash at the next one
+(nothing became durable in between), so barrier enumeration covers the
+whole schedule of distinguishable crash states; torn tails of the final
+un-synced append are exercised by the fault FS's ``torn_writes`` mode.
+
+Runs the synchronous engine (no background threads) so the sync schedule
+is a pure function of the seed — every run of the same seed crashes at
+bit-identical states.
+
+CLI::
+
+    python -m repro.tools crashtest [--ops N] [--points N] [--seed N]
+                                    [--quick] [--json PATH]
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+
+from ..core.db import DB
+from ..core.write_batch import WriteBatch
+from ..options import COMPACTION_SELECTIVE, Options
+from ..storage.faults import FaultInjectionFS, FaultPolicy
+from ..storage.fs import SimulatedFS
+from .repair import repair_store
+
+#: Tiny geometry: flushes, compactions, WAL rotations, and manifest growth
+#: all happen within a ~hundred-operation workload, so the sync schedule
+#: crosses every subsystem's barriers.
+_HARNESS_GEOMETRY = dict(
+    block_size=256,
+    sstable_size=1024,
+    memtable_size=1024,
+    max_levels=5,
+    level0_size_factor=4,
+    level_size_multiplier=4,
+)
+
+
+def harness_options() -> Options:
+    """The store configuration every harness run uses."""
+    return Options(compaction_style=COMPACTION_SELECTIVE, **_HARNESS_GEOMETRY)
+
+
+# --------------------------------------------------------------- workload
+
+
+def build_workload(num_ops: int, seed: int, keyspace: int = 32) -> list[tuple]:
+    """A deterministic op list: puts, deletes, multi-key batches, flushes.
+
+    The small keyspace forces overwrites and tombstones, so recovery must
+    get *shadowing* right, not just presence.
+    """
+    rng = random.Random(seed)
+    ops: list[tuple] = []
+    for i in range(num_ops):
+        roll = rng.random()
+        key = f"k{rng.randrange(keyspace):04d}".encode()
+        if roll < 0.62:
+            ops.append(("put", key, f"v{i:06d}".encode()))
+        elif roll < 0.76:
+            ops.append(("delete", key))
+        elif roll < 0.92:
+            entries = []
+            for j in range(rng.randrange(2, 5)):
+                bkey = f"k{rng.randrange(keyspace):04d}".encode()
+                if rng.random() < 0.2:
+                    entries.append(("delete", bkey, None))
+                else:
+                    entries.append(("put", bkey, f"b{i:06d}.{j}".encode()))
+            ops.append(("batch", entries))
+        else:
+            ops.append(("flush",))
+    return ops
+
+
+def _apply_op(db: DB, op: tuple) -> None:
+    if op[0] == "put":
+        db.put(op[1], op[2])
+    elif op[0] == "delete":
+        db.delete(op[1])
+    elif op[0] == "batch":
+        batch = WriteBatch()
+        for kind, key, value in op[1]:
+            if kind == "put":
+                batch.put(key, value)
+            else:
+                batch.delete(key)
+        db.write(batch)
+    elif op[0] == "flush":
+        db.flush()
+
+
+def _expected_after(state: dict[bytes, bytes], op: tuple) -> dict[bytes, bytes]:
+    """The acked KV state after ``op`` lands on ``state`` (pure)."""
+    state = dict(state)
+    if op[0] == "put":
+        state[op[1]] = op[2]
+    elif op[0] == "delete":
+        state.pop(op[1], None)
+    elif op[0] == "batch":
+        for kind, key, value in op[1]:
+            if kind == "put":
+                state[key] = value
+            else:
+                state.pop(key, None)
+    return state
+
+
+def _touched_keys(op: tuple | None) -> list[bytes]:
+    if op is None or op[0] == "flush":
+        return []
+    if op[0] == "batch":
+        return sorted({key for _kind, key, _v in op[1]})
+    return [op[1]]
+
+
+# --------------------------------------------------------------- execution
+
+
+def _run_workload(
+    fs: FaultInjectionFS, ops: list[tuple]
+) -> tuple[dict[bytes, bytes], tuple | None]:
+    """Run ``ops`` until completion or the scheduled crash fires.
+
+    Returns ``(acked_state, pending_op)`` — the KV state every completed
+    (acknowledged) operation built up, and the op in flight at the crash
+    (None when the run completed, or crashed outside any op).
+    """
+    acked: dict[bytes, bytes] = {}
+    try:
+        db = DB(fs, harness_options(), seed=1)
+    except BaseException:  # noqa: BLE001 - crash during open
+        return acked, None
+    for op in ops:
+        try:
+            _apply_op(db, op)
+        except BaseException:  # noqa: BLE001 - crash (or its fallout)
+            return acked, op
+        acked = _expected_after(acked, op)
+    try:
+        db.close()
+    except BaseException:  # noqa: BLE001 - crash during the closing flush
+        pass
+    return acked, None
+
+
+def _clone_files(fs: FaultInjectionFS) -> SimulatedFS:
+    """Accounting-free copy of the (healed) file state, for repair runs."""
+    clone = SimulatedFS()
+    for name in fs.inner.list_dir():
+        size = fs.inner.file_size(name)
+        clone._files[name] = bytearray(
+            fs.inner._read(name, 0, size) if size else b""
+        )
+    return clone
+
+
+def _check_recovery(
+    fs: FaultInjectionFS,
+    acked: dict[bytes, bytes],
+    pending: tuple | None,
+    *,
+    repair: bool = True,
+) -> list[str]:
+    """Reopen the healed store and verify every invariant; returns the
+    violations (empty = this crash point recovers perfectly)."""
+    violations: list[str] = []
+    try:
+        db = DB(fs, harness_options(), seed=1)
+    except BaseException as exc:  # noqa: BLE001 - any failure is a violation
+        return [f"reopen failed: {type(exc).__name__}: {exc}"]
+
+    try:
+        new_state = _expected_after(acked, pending) if pending else acked
+        touched = set(_touched_keys(pending))
+
+        # 1. acked-durable writes survive (keys the pending op touches are
+        #    judged by the atomicity rule instead).
+        for key, value in acked.items():
+            if key in touched:
+                continue
+            got = db.get(key)
+            if got != value:
+                violations.append(
+                    f"acked write lost: {key!r} expected {value!r} got {got!r}"
+                )
+        for key in touched:
+            old, new = acked.get(key), new_state.get(key)
+            got = db.get(key)
+            if got != old and got != new:
+                violations.append(
+                    f"half-visible write: {key!r} is {got!r}, "
+                    f"expected old {old!r} or new {new!r}"
+                )
+
+        # 2. the pending op is all-or-nothing across its keys.
+        decisive = [
+            key for key in touched if acked.get(key) != new_state.get(key)
+        ]
+        if decisive:
+            sides = {
+                db.get(key) == new_state.get(key) for key in decisive
+            }
+            if len(sides) > 1:
+                violations.append(
+                    f"pending op split: keys {decisive!r} mix old and new state"
+                )
+
+        # 3. a full scan is structurally clean and agrees with point reads.
+        try:
+            scanned = dict(db.scan())
+        except BaseException as exc:  # noqa: BLE001
+            violations.append(f"scan failed: {type(exc).__name__}: {exc}")
+            scanned = None
+        if scanned is not None:
+            for key, value in acked.items():
+                if key in touched:
+                    continue
+                if scanned.get(key) != value:
+                    violations.append(
+                        f"scan disagrees: {key!r} expected {value!r} "
+                        f"got {scanned.get(key)!r}"
+                    )
+
+        # 4. repair_store on a copy converges to the same contents.
+        if repair and scanned is not None:
+            clone = _clone_files(fs)
+            try:
+                repair_store(clone, harness_options())
+                repaired = DB(clone, harness_options(), seed=1)
+                try:
+                    repaired_view = dict(repaired.scan())
+                finally:
+                    repaired.close()
+                if repaired_view != scanned:
+                    missing = set(scanned) - set(repaired_view)
+                    extra = set(repaired_view) - set(scanned)
+                    violations.append(
+                        f"repair diverged: missing {sorted(missing)!r}, "
+                        f"extra {sorted(extra)!r}"
+                    )
+            except BaseException as exc:  # noqa: BLE001
+                violations.append(
+                    f"repair failed: {type(exc).__name__}: {exc}"
+                )
+    finally:
+        try:
+            db.close()
+        except BaseException:  # noqa: BLE001 - already reporting violations
+            pass
+    return violations
+
+
+# --------------------------------------------------------------- reporting
+
+
+@dataclass
+class CrashTestReport:
+    """Outcome of one harness run (JSON-serializable via :meth:`to_dict`)."""
+
+    seed: int
+    num_ops: int
+    total_sync_points: int
+    points_tested: list[int] = field(default_factory=list)
+    #: ``{"point": int, "violations": [str, ...]}`` per failing point.
+    failures: list[dict] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures
+
+    @property
+    def violation_count(self) -> int:
+        return sum(len(f["violations"]) for f in self.failures)
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "num_ops": self.num_ops,
+            "total_sync_points": self.total_sync_points,
+            "points_tested": self.points_tested,
+            "failures": self.failures,
+            "passed": self.passed,
+        }
+
+    def summary(self) -> str:
+        """Human-readable outcome, listing each violating crash point."""
+        lines = [
+            f"workload: {self.num_ops} ops (seed {self.seed}), "
+            f"{self.total_sync_points} sync points",
+            f"crashed at {len(self.points_tested)} distinct points: "
+            + ("all invariants held" if self.passed else "VIOLATIONS"),
+        ]
+        for failure in self.failures:
+            lines.append(f"  point {failure['point']}:")
+            for violation in failure["violations"]:
+                lines.append(f"    - {violation}")
+        return "\n".join(lines)
+
+
+def _subsample(total: int, limit: int) -> list[int]:
+    """Up to ``limit`` indices spread evenly across ``range(total)``."""
+    if total <= limit:
+        return list(range(total))
+    return sorted(
+        {round(i * (total - 1) / (limit - 1)) for i in range(limit)}
+    )
+
+
+def run_crash_test(
+    *,
+    num_ops: int = 160,
+    max_points: int = 96,
+    seed: int = 0,
+    check_repair: bool = True,
+) -> CrashTestReport:
+    """Phase A: measure the workload's sync schedule; phase B: crash at
+    (up to ``max_points`` of) its barriers and verify recovery."""
+    ops = build_workload(num_ops, seed)
+
+    baseline_fs = FaultInjectionFS(SimulatedFS(), FaultPolicy(seed=seed))
+    _run_workload(baseline_fs, ops)
+    total = baseline_fs.sync_points
+
+    report = CrashTestReport(seed=seed, num_ops=num_ops, total_sync_points=total)
+    for point in _subsample(total, max_points):
+        fs = FaultInjectionFS(
+            SimulatedFS(), FaultPolicy(seed=seed, crash_at_sync=point)
+        )
+        acked, pending = _run_workload(fs, ops)
+        if not fs.crashed:
+            # Deterministic schedule: every enumerated barrier must fire.
+            report.failures.append(
+                {"point": point, "violations": ["scheduled crash never fired"]}
+            )
+            continue
+        fs.heal()
+        violations = _check_recovery(fs, acked, pending, repair=check_repair)
+        report.points_tested.append(point)
+        if violations:
+            report.failures.append({"point": point, "violations": violations})
+    return report
+
+
+# --------------------------------------------------------------------- CLI
+
+
+def build_crashtest_parser():
+    """Argument schema for ``crashtest`` (exposed for tests)."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools crashtest",
+        description="Crash at every sync point of a seeded workload and "
+        "verify recovery invariants.",
+    )
+    parser.add_argument("--ops", type=int, default=160, metavar="N",
+                        help="workload length (default 160)")
+    parser.add_argument("--points", type=int, default=96, metavar="N",
+                        help="max crash points, spread evenly (default 96)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller workload for CI (still >= 50 points)")
+    parser.add_argument("--no-repair", action="store_true",
+                        help="skip the repair-convergence check")
+    parser.add_argument("--json", metavar="PATH",
+                        help="also write the full report as JSON")
+    return parser
+
+
+def run_crashtest_cli(argv: list[str]) -> int:
+    """``crashtest`` subcommand: 0 = all invariants held, 1 = violations."""
+    args = build_crashtest_parser().parse_args(argv)
+    num_ops = 90 if args.quick else args.ops
+    max_points = 56 if args.quick else args.points
+    report = run_crash_test(
+        num_ops=num_ops,
+        max_points=max_points,
+        seed=args.seed,
+        check_repair=not args.no_repair,
+    )
+    print(report.summary())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2)
+        print(f"report written to {args.json}")
+    return 0 if report.passed else 1

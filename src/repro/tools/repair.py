@@ -24,12 +24,14 @@ from dataclasses import dataclass, field
 from ..core.manifest import ManifestWriter, set_current
 from ..core.version import FileMetadata, VersionEdit, new_file_metadata
 from ..core.write_batch import WriteBatch
+from ..encoding import encode_fixed64
 from ..errors import CorruptionError, FileSystemError, ReproError
 from ..keys import sequence_of
 from ..memtable.memtable import MemTable
-from ..memtable.wal import read_wal
+from ..memtable.wal import WalRecoveryStats, read_wal_tolerant
 from ..core.flush import flush_memtable
 from ..options import Options
+from ..sstable.format import BLOCK_TRAILER_SIZE, FOOTER_SIZE, TABLE_MAGIC, Footer, unwrap_block
 from ..sstable.table_reader import TableReader
 from ..storage.fs import FileSystem
 
@@ -44,6 +46,13 @@ class RepairReport:
     corrupt_files: list[str] = field(default_factory=list)
     max_sequence: int = 0
     manifest_name: str = ""
+    #: Tables whose live (EOF) footer was torn by an interrupted in-place
+    #: append and were truncated back to an older intact footer generation.
+    tables_truncated: int = 0
+    #: Bytes discarded by those truncations (the torn append tails).
+    table_bytes_discarded: int = 0
+    #: Unreplayable WAL tail bytes skipped during log conversion.
+    wal_bytes_skipped: int = 0
 
     def summary(self) -> str:
         """One-paragraph human-readable outcome."""
@@ -54,6 +63,13 @@ class RepairReport:
             f"sequence horizon {self.max_sequence}",
             f"manifest: {self.manifest_name}",
         ]
+        if self.tables_truncated:
+            lines.append(
+                f"truncated {self.tables_truncated} table(s) back to an older "
+                f"footer ({self.table_bytes_discarded} torn bytes discarded)"
+            )
+        if self.wal_bytes_skipped:
+            lines.append(f"skipped {self.wal_bytes_skipped} unreplayable WAL byte(s)")
         if self.corrupt_files:
             lines.append("set aside as corrupt: " + ", ".join(self.corrupt_files))
         return "\n".join(lines)
@@ -89,14 +105,72 @@ def _salvage_table(
         reader.close()
 
 
+_MAGIC_BYTES = encode_fixed64(TABLE_MAGIC)
+
+
+def _truncate_to_older_footer(
+    fs: FileSystem, name: str, options: Options
+) -> tuple[FileMetadata | None, int]:
+    """Salvage a table whose live (EOF) footer is torn or corrupt.
+
+    In-place block appends grow a table as ``...blocks...[old footer]
+    [new blocks][new footer]`` — only the footer at EOF is live, but every
+    superseded footer is still physically present and internally
+    consistent.  When an append was interrupted (crash mid-write, torn
+    append fault) the tail is garbage while an older generation survives
+    intact.  Scan backwards for footer-magic candidates, validate each
+    (footer decodes, its index block lies within the prefix and passes its
+    checksum, the table then opens), and truncate the file to the newest
+    one that checks out.
+
+    Returns ``(metadata, discarded_bytes)`` — ``(None, 0)`` when no intact
+    generation exists.  Destructive only to bytes past the salvaged footer,
+    which are unreachable garbage by construction.
+    """
+    try:
+        size = fs.file_size(name)
+        data = fs._read(name, 0, size)
+    except (FileSystemError, OSError):
+        return None, 0
+    pos = len(data)
+    while True:
+        pos = data.rfind(_MAGIC_BYTES, 0, pos)
+        if pos < 0:
+            return None, 0
+        end = pos + len(_MAGIC_BYTES)  # magic is the footer's last field
+        pos -= 1  # next rfind looks strictly earlier
+        if end == len(data) or end < FOOTER_SIZE:
+            continue  # the live footer already failed; need a strict prefix
+        try:
+            footer = Footer.deserialize(data[end - FOOTER_SIZE : end])
+            index_end = footer.index_handle.offset + footer.index_handle.size
+            if index_end + BLOCK_TRAILER_SIZE > end - FOOTER_SIZE:
+                continue
+            unwrap_block(
+                data[
+                    footer.index_handle.offset : index_end + BLOCK_TRAILER_SIZE
+                ]
+            )
+        except (CorruptionError, ReproError):
+            continue
+        fs.truncate_file(name, end)
+        meta = _salvage_table(fs, name, options)
+        if meta is not None:
+            return meta, len(data) - end
+        # An undamaged footer over damaged blocks: keep scanning further
+        # back (truncate_file only shrinks, so earlier candidates remain).
+
+
 def _convert_log(
     fs: FileSystem, name: str, options: Options, file_number: int
-) -> tuple[FileMetadata | None, int]:
-    """Replay one WAL into an L0 table; returns (metadata, max sequence)."""
+) -> tuple[FileMetadata | None, int, WalRecoveryStats]:
+    """Replay one WAL into an L0 table; returns (metadata, max sequence,
+    replay stats — tolerant of a torn/corrupt tail)."""
     memtable = MemTable()
     max_sequence = 0
+    stats = WalRecoveryStats()
     try:
-        for payload in read_wal(fs, name):
+        for payload in read_wal_tolerant(fs, name, stats):
             batch, base_sequence = WriteBatch.deserialize(payload)
             sequence = base_sequence
             for value_type, key, value in batch:
@@ -107,9 +181,9 @@ def _convert_log(
         # salvage what replayed before the damage
         pass
     if len(memtable) == 0:
-        return None, max_sequence
+        return None, max_sequence, stats
     memtable.freeze()
-    return flush_memtable(fs, options, memtable, file_number), max_sequence
+    return flush_memtable(fs, options, memtable, file_number), max_sequence, stats
 
 
 def repair_store(fs: FileSystem, options: Options | None = None) -> RepairReport:
@@ -129,6 +203,13 @@ def repair_store(fs: FileSystem, options: Options | None = None) -> RepairReport
         if name.endswith(".sst"):
             meta = _salvage_table(fs, name, options)
             if meta is None:
+                # Interrupted in-place append?  An older footer generation
+                # may survive intact behind the torn tail.
+                meta, discarded = _truncate_to_older_footer(fs, name, options)
+                if meta is not None:
+                    report.tables_truncated += 1
+                    report.table_bytes_discarded += discarded
+            if meta is None:
                 report.corrupt_files.append(name)
                 continue
             tables.append(meta)
@@ -141,7 +222,8 @@ def repair_store(fs: FileSystem, options: Options | None = None) -> RepairReport
     for name in names:
         if name.endswith(".log"):
             max_file_number += 1
-            meta, log_seq = _convert_log(fs, name, options, max_file_number)
+            meta, log_seq, wal_stats = _convert_log(fs, name, options, max_file_number)
+            report.wal_bytes_skipped += wal_stats.bytes_skipped
             report.max_sequence = max(report.max_sequence, log_seq)
             if meta is not None:
                 tables.append(meta)

@@ -9,6 +9,7 @@ import pytest
 from conftest import kv, make_db, tiny_options
 from repro.core.db import DB
 from repro.core.write_batch import WriteBatch
+from repro.errors import ReadOnlyError
 from repro.options import COMPACTION_SELECTIVE, COMPACTION_TABLE
 from repro.storage.fs import LocalFS, SimulatedFS
 
@@ -51,8 +52,11 @@ class TestBackgroundPipeline:
             assert db.get(key) == value
         db.close()
 
-    def test_background_error_surfaces_on_next_write(self, monkeypatch):
+    def test_background_error_degrades_to_read_only(self, monkeypatch):
+        """A hard background failure lands the DB in degraded (read-only)
+        mode: writes refuse with ReadOnlyError, reads still serve."""
         db = make_concurrent_db()
+        db.put(b"stable", b"value")
 
         def boom(*args, **kwargs):
             raise RuntimeError("injected background failure")
@@ -60,11 +64,13 @@ class TestBackgroundPipeline:
         monkeypatch.setattr(db, "_build_flush", boom)
         for i in range(5):
             db.put(*kv(i))
-        with pytest.raises(RuntimeError, match="injected"):
+        with pytest.raises(ReadOnlyError, match="injected"):
             db.flush()
-        assert db._scheduler.error is not None
-        with pytest.raises(RuntimeError, match="injected"):
+        assert db.health()["state"] == "degraded"
+        with pytest.raises(ReadOnlyError):
             db.put(*kv(99))
+        # Reads keep serving the last consistent state.
+        assert db.get(b"stable") == b"value"
         db.close()
 
     def test_flush_waits_for_background_and_returns_meta(self):

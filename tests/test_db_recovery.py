@@ -79,7 +79,10 @@ class TestWalRecovery:
             db.flush()
         # The freeze and rotation happened: two live logs on disk.
         assert len([n for n in fs.list_dir() if n.endswith(".log")]) == 2
-        # More writes land in the new log only.
+        # The hard failure left the DB read-only; the injected fault is
+        # one-shot, so resume() and keep writing into the new log only.
+        assert db.health()["state"] == "degraded"
+        assert db.resume()
         db.put(b"fresh1", b"n1")
         db.delete(b"frozen2")
 

@@ -98,6 +98,60 @@ class TestRepair:
         assert len(db.scan()) == 399
         db.close()
 
+    def test_truncates_torn_append_tail_to_older_footer(self, fs):
+        """A table whose in-place append was interrupted (garbage past the
+        last intact footer) is truncated back to that footer generation
+        instead of being set aside as corrupt."""
+        ref = build_store(fs)
+        victim = next(m.file_name() for _l, m in ref.version.all_files())
+        intact_size = len(fs._files[victim])
+        fs._files[victim] += b"\xde\xad" * 40  # torn append: no live footer
+        fs.delete_file("CURRENT")
+        report = repair_store(fs, tiny_options())
+        assert report.tables_truncated == 1
+        assert report.table_bytes_discarded == 80
+        assert victim not in report.corrupt_files
+        assert len(fs._files[victim]) == intact_size
+        db = reopen(fs)
+        for i in range(400):
+            expected = None if i == 5 else kv(i)[1]
+            assert db.get(kv(i)[0]) == expected, i
+        db.close()
+
+    def test_skips_fake_footer_magic_in_torn_tail(self, fs):
+        """Magic bytes inside the garbage tail must not fool the scan-back:
+        a candidate whose footer or index fails validation is skipped and
+        the scan continues to the genuine older generation."""
+        from repro.encoding import encode_fixed64
+        from repro.sstable.format import TABLE_MAGIC
+
+        ref = build_store(fs)
+        victim = next(m.file_name() for _l, m in ref.version.all_files())
+        intact_size = len(fs._files[victim])
+        # Garbage that *ends in the table magic* but is not a valid footer
+        # (its decoded index handle points into nonsense).
+        fake = b"\xff" * 52 + encode_fixed64(TABLE_MAGIC) + b"\x00" * 9
+        fs._files[victim] += fake
+        fs.delete_file("CURRENT")
+        report = repair_store(fs, tiny_options())
+        assert report.tables_truncated == 1
+        assert len(fs._files[victim]) == intact_size
+        db = reopen(fs)
+        assert db.get(kv(100)[0]) == kv(100)[1]
+        db.close()
+
+    def test_wal_with_torn_tail_reports_skipped_bytes(self, fs):
+        db = build_store(fs, close=False)
+        db.put(b"zz-wal-only", b"unflushed")
+        log = next(n for n in fs.list_dir() if n.endswith(".log"))
+        fs._files[log] += b"\x01\x02\x03"  # torn final frame
+        fs.delete_file("CURRENT")
+        report = repair_store(fs, tiny_options())
+        assert report.wal_bytes_skipped == 3
+        db2 = reopen(fs)
+        assert db2.get(b"zz-wal-only") == b"unflushed"
+        db2.close()
+
     def test_report_summary(self, fs):
         build_store(fs)
         fs.delete_file("CURRENT")
