@@ -255,6 +255,42 @@ def bench_block_codec(suite: Suite) -> None:
         repeats=suite.micro_repeats,
     )
 
+    # Zero-copy stored-block open (DESIGN.md §11): verify the trailer CRC
+    # over a memoryview and bind the lazy block to the raw bytes with
+    # explicit bounds, vs the old unwrap-then-bind path which materialized
+    # two full payload copies (the checksum slice and the returned payload)
+    # per block read.  This is what every cached-lazy read and every
+    # offload-worker decode pays per block; the per-entry parse cost —
+    # identical in both arms and deferred here — is kept out of the loop.
+    # The CRC dominates both arms, so the expected ratio is ~1.0x with the
+    # copies' cost reclaimed as allocator headroom; the bench exists to
+    # catch the zero-copy path ever becoming *slower* than copying.
+    from repro.sstable.block import LazyDataBlock, parse_block_raw
+    from repro.sstable.format import unwrap_block, wrap_block
+
+    raws = [wrap_block(payload, 0) for payload in payloads]
+    rounds = 20
+
+    def open_raw_zero_copy():
+        for _ in range(rounds):
+            for raw in raws:
+                parse_block_raw(raw, lazy=True)
+        return rounds * len(raws)
+
+    def open_raw_copying():
+        for _ in range(rounds):
+            for raw in raws:
+                LazyDataBlock(unwrap_block(raw))
+        return rounds * len(raws)
+
+    suite.measure(
+        "block_decode_raw",
+        open_raw_zero_copy,
+        "block",
+        reference=open_raw_copying,
+        repeats=suite.micro_repeats,
+    )
+
 
 def _merge_sources(num_sources: int, per_source: int):
     """Disjointly interleaved sorted comparable-key sources, 10% tombstones."""

@@ -19,7 +19,7 @@ import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "..", "src"))
 
-from repro.tools.crashtest import run_crash_test  # noqa: E402
+from repro.tools.crashtest import offload_overrides, run_crash_test  # noqa: E402
 
 REPORT = os.path.join(os.path.dirname(__file__), "..", "..", "BENCH_crash_consistency.json")
 
@@ -33,6 +33,10 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="CI smoke sizes")
     parser.add_argument("--report", default=REPORT, metavar="PATH")
+    parser.add_argument("--offload", choices=["none", "thread", "process"],
+                        default="none",
+                        help="crash-test with this compaction offload "
+                        "backend (default none)")
     args = parser.parse_args(argv)
 
     config = QUICK if args.quick else FULL
@@ -40,7 +44,8 @@ def main(argv: list[str] | None = None) -> int:
     failed = False
     for seed in config["seeds"]:
         report = run_crash_test(
-            num_ops=config["num_ops"], max_points=config["max_points"], seed=seed
+            num_ops=config["num_ops"], max_points=config["max_points"], seed=seed,
+            options_overrides=offload_overrides(args.offload),
         )
         print(report.summary())
         runs.append(report.to_dict())
@@ -48,6 +53,7 @@ def main(argv: list[str] | None = None) -> int:
 
     payload = {
         "mode": "quick" if args.quick else "full",
+        "offload": args.offload,
         "total_points_tested": sum(len(r["points_tested"]) for r in runs),
         "passed": not failed,
         "runs": runs,

@@ -43,6 +43,7 @@ from .block_compaction import (
     find_dirty_blocks,
     partition_parent_slices,
 )
+from .offload import OffloadPool, block_compact_file_offloaded
 from .parallel import SubtaskScheduler
 from .table_compaction import build_output_tables
 
@@ -131,10 +132,14 @@ def run_selective_compaction(
     task: CompactionTask,
     scheduler: SubtaskScheduler | None = None,
     decisions_out: list[SelectiveDecision] | None = None,
+    offload_pool: OffloadPool | None = None,
 ) -> CompactionResult:
     """Drive one parent file against its overlapped children, choosing the
     scheme per child (and optionally running sub-tasks under the Parallel
-    Merging scheduler)."""
+    Merging scheduler).
+
+    With ``offload_pool`` the block subtasks' merge compute runs on the
+    pool (DESIGN.md §11); their I/O and commit bookkeeping stay here."""
     if not task.child_files:
         raise ValueError("selective compaction requires overlapped child files")
     write_start = env.fs.stats.per_category[CAT_COMPACTION].bytes_written
@@ -166,9 +171,15 @@ def run_selective_compaction(
             def block_subtask(
                 s=parent_slice, m=child_meta, scan=decision.scan
             ) -> None:
-                new_meta, _stats = block_compact_file(
-                    env, s, m, task.child_level, scan=scan
-                )
+                """Block-compact one child file and fold in its outcome."""
+                if offload_pool is not None:
+                    new_meta, _stats = block_compact_file_offloaded(
+                        env, s, m, task.child_level, offload_pool, scan=scan
+                    )
+                else:
+                    new_meta, _stats = block_compact_file(
+                        env, s, m, task.child_level, scan=scan
+                    )
                 apply_block_update(result, task.child_level, m, new_meta)
 
             subtasks.append(block_subtask)

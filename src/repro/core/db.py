@@ -39,6 +39,7 @@ from ..cache.table_cache import TableCache
 from ..compaction.base import CompactionResult, CompactionTask
 from ..compaction.block_compaction import run_block_compaction
 from ..compaction.lazy_deletion import DeletionManager
+from ..compaction.offload import OFFLOAD_NONE, OffloadPool
 from ..compaction.parallel import SubtaskScheduler
 from ..compaction.picker import CompactionPicker
 from ..compaction.selective import run_selective_compaction
@@ -229,24 +230,47 @@ class DB:
         self._writers: deque[_GroupWriter] = deque()
         self._writers_cv = threading.Condition()
         self._subtask_executor: ThreadPoolExecutor | None = None
-        if self.options.real_parallel_compaction:
+        self._offload_pool: OffloadPool | None = None
+        # Offload mode implies real subtask threads: each subtask thread
+        # does its (simulated) I/O while sibling subtasks' merge compute
+        # runs on the offload pool.
+        if (
+            self.options.real_parallel_compaction
+            or self.options.compaction_offload != OFFLOAD_NONE
+        ):
             self._subtask_executor = ThreadPoolExecutor(
                 max_workers=max(1, self.options.compaction_workers),
                 thread_name_prefix="repro-subtask",
             )
-
-        self._recover()
-        if self._lock_free_reads:
-            self._install_superversion_locked()
-
-        # Started last: the worker must only ever see a fully-recovered DB.
         self._scheduler: BackgroundScheduler | None = None
-        if self.options.background_compaction:
-            self._scheduler = BackgroundScheduler(
-                self._background_work,
-                tracer=self.tracer,
-                on_error=self._handle_background_error,
-            )
+
+        # Anything past this point can raise (corrupt manifest, torn WAL,
+        # pool start failure).  Executors hold non-daemon worker threads
+        # and processes, so a failed open must tear them down or the
+        # process leaks workers and may never exit.
+        try:
+            if self.options.compaction_offload != OFFLOAD_NONE:
+                self._offload_pool = OffloadPool(
+                    self.options.compaction_offload,
+                    max(1, self.options.compaction_workers),
+                    mp_context=self.options.compaction_offload_mp_context,
+                    shm_threshold=self.options.compaction_offload_shm_bytes,
+                )
+
+            self._recover()
+            if self._lock_free_reads:
+                self._install_superversion_locked()
+
+            # Started last: the worker must only ever see a fully-recovered DB.
+            if self.options.background_compaction:
+                self._scheduler = BackgroundScheduler(
+                    self._background_work,
+                    tracer=self.tracer,
+                    on_error=self._handle_background_error,
+                )
+        except BaseException:
+            self._shutdown_executors()
+            raise
 
     # ------------------------------------------------------------------ setup
 
@@ -1064,7 +1088,9 @@ class DB:
                     executor=self._subtask_executor,
                     tracer=self.tracer,
                 )
-                result = run_selective_compaction(self, task, scheduler)
+                result = run_selective_compaction(
+                    self, task, scheduler, offload_pool=self._offload_pool
+                )
             else:  # pragma: no cover - options.validate() rejects this
                 raise InvalidArgumentError(f"unknown style {style!r}")
 
@@ -2079,10 +2105,7 @@ class DB:
             return
         # Stop background machinery before taking the lock: the worker may
         # need the lock to finish its in-flight round.
-        if self._scheduler is not None:
-            self._scheduler.close()
-        if self._subtask_executor is not None:
-            self._subtask_executor.shutdown(wait=True)
+        self._shutdown_executors()
         with self._lock:
             if self._closed:
                 return
@@ -2090,6 +2113,23 @@ class DB:
             self._close_locked()
             self._flush_cv.notify_all()
             self._l0_cv.notify_all()
+
+    def _shutdown_executors(self) -> None:
+        """Deterministically drain and stop every execution backend.
+
+        Order matters: the background scheduler goes first (its in-flight
+        compaction round may still submit subtasks), then the subtask
+        thread pool drains (in-flight subtasks may still be waiting on
+        offload results), and the offload pool last.  All shutdowns wait,
+        so no worker thread or process outlives this call.  Idempotent —
+        called both by :meth:`close` and by a failed ``__init__``.
+        """
+        if self._scheduler is not None:
+            self._scheduler.close()
+        if self._subtask_executor is not None:
+            self._subtask_executor.shutdown(wait=True)
+        if self._offload_pool is not None:
+            self._offload_pool.close()
 
     def _close_locked(self) -> None:
         if self._wal is not None:

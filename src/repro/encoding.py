@@ -22,6 +22,7 @@ implementations in :mod:`repro._reference` by the property tests.
 from __future__ import annotations
 
 import struct
+from zlib import crc32 as _zlib_crc32
 
 from .errors import CorruptionError
 
@@ -263,15 +264,18 @@ def shared_prefix_len(a: bytes, b: bytes) -> int:
     return limit - ((diff.bit_length() + 7) >> 3)
 
 
-def crc32c(data: bytes) -> int:
+def crc32c(data) -> int:
     """A masked CRC-32 used to checksum blocks and log records.
 
     We use :func:`zlib.crc32` (CRC-32/ISO-HDLC) rather than true CRC-32C —
     the polynomial is irrelevant to the reproduction; what matters is that
     corrupt bytes are detected.  The LevelDB-style mask rotates the value so
     that checksumming data that embeds checksums stays robust.
-    """
-    import zlib
 
-    crc = zlib.crc32(data) & 0xFFFFFFFF
+    Accepts any buffer object (``bytes``, ``bytearray``, ``memoryview``):
+    ``zlib.crc32`` runs over the buffer at C speed without copying, which
+    is what lets the zero-copy block read path checksum a block's stored
+    span in place instead of slicing it out first.
+    """
+    crc = _zlib_crc32(data) & 0xFFFFFFFF
     return (((crc >> 15) | (crc << 17)) + 0xA282EAD8) & 0xFFFFFFFF

@@ -74,6 +74,18 @@ class CommitError(ReproError):
     """
 
 
+class OffloadError(ReproError):
+    """The compaction offload pool failed (a worker process died, or the
+    pool was shut down under an in-flight job).
+
+    Deliberately *not* a :class:`FileSystemError`: the storage state is
+    fine, the execution backend broke.  Classified :data:`SEVERITY_HARD` —
+    the DB degrades to read-only rather than hanging on a dead worker or
+    retrying into a broken pool; the pool rebuilds itself lazily so
+    ``DB.resume()`` can recover.
+    """
+
+
 # --- error severity (RocksDB ErrorHandler analogue) -------------------------
 
 #: Expected to clear by itself; background work retries with backoff.

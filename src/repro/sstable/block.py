@@ -19,6 +19,14 @@ and eviction behaviour — everything the paper's Fig 14 measures — is
 bit-identical whichever form is cached.  The decode loop is the engine's
 hottest path; it runs over locally-bound buffers with the 3-varint entry
 header decoded inline (see :mod:`repro.encoding`).
+
+Both parsers take an explicit ``payload_len`` bound, which is what makes
+the zero-copy read path (:func:`parse_block_raw`) possible: a stored block
+is ``payload + 5-byte trailer``, and rather than slicing the payload out
+(one full copy) and checksumming the slice (historically a second copy),
+the reader verifies the trailer over a ``memoryview`` and parses entries
+straight out of the *raw* bytes with ``payload_len = len(raw) - 5`` — the
+trailer is simply never read.
 """
 
 from __future__ import annotations
@@ -35,18 +43,29 @@ from ..keys import (
     comparable_parts,
     seek_comparable,
 )
+from .format import (
+    BLOCK_TRAILER_SIZE,
+    COMPRESSION_ZLIB,
+    check_block_trailer,
+    unwrap_block,
+)
 
 _FIXED64_UNPACK = struct.Struct("<Q").unpack_from
 _FIXED64_PACK = struct.Struct("<Q").pack
 _INVERT = (1 << 64) - 1
 
 
-def _parse_header(payload: bytes) -> int:
-    """Validate the restart trailer; return ``data_end`` (entry bytes)."""
-    if len(payload) < 4:
+def _parse_header(payload: bytes, payload_len: int) -> int:
+    """Validate the restart trailer; return ``data_end`` (entry bytes).
+
+    ``payload_len`` bounds the payload span within ``payload`` — it equals
+    ``len(payload)`` for a bare payload, or ``len(raw) - 5`` when parsing
+    in place from a raw stored block.
+    """
+    if payload_len < 4:
         raise CorruptionError("data block too short")
-    num_restarts = decode_fixed32(payload, len(payload) - 4)
-    data_end = len(payload) - 4 - 4 * num_restarts
+    num_restarts = decode_fixed32(payload, payload_len - 4)
+    data_end = payload_len - 4 - 4 * num_restarts
     if data_end < 0:
         raise CorruptionError("data block restart array overruns payload")
     return data_end
@@ -169,12 +188,19 @@ class DataBlock:
         self.serialized_size = serialized_size
 
     @classmethod
-    def parse(cls, payload: bytes) -> "DataBlock":
+    def parse(cls, payload: bytes, payload_len: int | None = None) -> "DataBlock":
         """Decode a block payload produced by
-        :class:`~repro.sstable.block_builder.BlockBuilder`."""
-        data_end = _parse_header(payload)
+        :class:`~repro.sstable.block_builder.BlockBuilder`.
+
+        ``payload_len`` (default: the whole buffer) bounds the payload span
+        so raw stored blocks can be decoded in place without slicing the
+        trailer off first.
+        """
+        if payload_len is None:
+            payload_len = len(payload)
+        data_end = _parse_header(payload, payload_len)
         keys, values = _parse_entries(payload, 0, data_end)
-        return cls(keys, values, len(payload))
+        return cls(keys, values, payload_len)
 
     def __len__(self) -> int:
         return len(self.keys)
@@ -229,11 +255,16 @@ class LazyDataBlock:
         "_values",
     )
 
-    def __init__(self, payload: bytes):
-        data_end = _parse_header(payload)
-        num_restarts = decode_fixed32(payload, len(payload) - 4)
+    def __init__(self, payload: bytes, payload_len: int | None = None):
+        if payload_len is None:
+            payload_len = len(payload)
+        data_end = _parse_header(payload, payload_len)
+        num_restarts = decode_fixed32(payload, payload_len - 4)
         self.payload = payload
-        self.serialized_size = len(payload)
+        # Cache charge is the *payload* size even when ``payload`` is a raw
+        # stored block (5 trailer bytes longer) — the charge must stay
+        # bit-identical to the copying path so cache behaviour never shifts.
+        self.serialized_size = payload_len
         self._data_end = data_end
         self._restarts: tuple[int, ...] = (
             struct.unpack_from(f"<{num_restarts}I", payload, data_end)
@@ -365,3 +396,27 @@ def parse_block(payload: bytes, *, lazy: bool = False) -> ParsedBlock:
     if lazy:
         return LazyDataBlock(payload)
     return DataBlock.parse(payload)
+
+
+def parse_block_raw(
+    raw: bytes, *, verify_checksum: bool = True, lazy: bool = False
+) -> ParsedBlock:
+    """Parse a *raw* stored block (payload + trailer) without copying.
+
+    The zero-copy equivalent of ``parse_block(unwrap_block(raw))``: the
+    trailer is verified in place (checksum over a ``memoryview``) and the
+    entries are decoded straight out of ``raw`` bounded by
+    ``payload_len = len(raw) - 5``.  The copying path allocated the payload
+    twice per block read — once for the checksum slice, once for the
+    returned payload; this path allocates neither.  Compressed blocks
+    (rare; the paper disables compression) fall back to the copying path
+    since decompression materializes a new buffer anyway.
+    """
+    compression = check_block_trailer(raw, verify_checksum=verify_checksum)
+    if compression == COMPRESSION_ZLIB:
+        # check_block_trailer already verified the stored-byte checksum.
+        return parse_block(unwrap_block(raw, verify_checksum=False), lazy=lazy)
+    payload_len = len(raw) - BLOCK_TRAILER_SIZE
+    if lazy:
+        return LazyDataBlock(raw, payload_len)
+    return DataBlock.parse(raw, payload_len)

@@ -115,6 +115,29 @@ def wrap_block(payload: bytes, compression: int = COMPRESSION_NONE) -> bytes:
     return payload + bytes([COMPRESSION_NONE]) + encode_fixed32(crc32c(payload))
 
 
+def check_block_trailer(raw: bytes, *, verify_checksum: bool = True) -> int:
+    """Validate a stored block's trailer *in place*; return its compression
+    type byte.
+
+    This is the zero-copy half of :func:`unwrap_block`: the checksum is
+    computed over a :class:`memoryview` of the stored span, so no payload
+    bytes are copied.  Callers on the hot read path
+    (:func:`repro.sstable.block.parse_block_raw`) decode entries straight
+    out of ``raw`` afterwards using explicit bounds instead of slicing the
+    payload out.
+    """
+    if len(raw) < BLOCK_TRAILER_SIZE:
+        raise CorruptionError("block shorter than its trailer")
+    compression = raw[-BLOCK_TRAILER_SIZE]
+    if compression not in (COMPRESSION_NONE, COMPRESSION_ZLIB):
+        raise CorruptionError(f"unsupported compression type {compression}")
+    if verify_checksum:
+        expected = decode_fixed32(raw, len(raw) - 4)
+        if crc32c(memoryview(raw)[: len(raw) - BLOCK_TRAILER_SIZE]) != expected:
+            raise CorruptionError("block failed checksum")
+    return compression
+
+
 def unwrap_block(raw: bytes, *, verify_checksum: bool = True) -> bytes:
     """Strip and (optionally) verify a block trailer, returning the payload."""
     if len(raw) < BLOCK_TRAILER_SIZE:

@@ -105,6 +105,37 @@ class AppendSession:
         self._entries.append(entry)
         self._reused_offsets.add(entry.offset)
 
+    def append_prebuilt(
+        self,
+        raw: bytes,
+        smallest: bytes,
+        largest: bytes,
+        num_entries: int,
+        user_keys: list[bytes],
+    ) -> None:
+        """Append one already-serialized block (payload + trailer).
+
+        The offload path's write primitive: a worker process built the raw
+        block with the same cut rule :meth:`add` applies, and the parent
+        replays it here — charging the (simulated) append I/O and recording
+        the same index/filter bookkeeping ``add`` + :meth:`flush_block`
+        would have, so the resulting file is bit-identical.
+        """
+        self.flush_block()
+        entry = IndexEntry(
+            smallest=smallest,
+            largest=largest,
+            offset=self._offset,
+            size=len(raw) - BLOCK_TRAILER_SIZE,
+            num_entries=num_entries,
+        )
+        self._file.append(raw)
+        self._offset += len(raw)
+        self._entries.append(entry)
+        self._keys_per_new_block[entry.offset] = list(user_keys)
+        self._new_user_keys.extend(user_keys)
+        self._num_new_entries += num_entries
+
     # -- filter maintenance ---------------------------------------------------------
 
     @property

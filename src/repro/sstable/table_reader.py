@@ -22,7 +22,7 @@ from ..keys import ComparableKey, seek_comparable
 from ..options import Options
 from ..storage.fs import FileSystem
 from ..storage.io_stats import CAT_GET, CAT_OPEN, CAT_SCAN
-from .block import DataBlock, ParsedBlock, parse_block
+from .block import DataBlock, ParsedBlock, parse_block_raw
 from .filter_block import Filter, deserialize_filter
 from .format import BLOCK_TRAILER_SIZE, FOOTER_SIZE, Footer, unwrap_block
 from .index import IndexBlock, IndexEntry
@@ -195,8 +195,9 @@ class TableReader:
             category=category,
             sequential=sequential,
         )
-        block = parse_block(
-            unwrap_block(raw, verify_checksum=self._options.verify_checksums),
+        block = parse_block_raw(
+            raw,
+            verify_checksum=self._options.verify_checksums,
             lazy=self._options.lazy_block_decode,
         )
         if block_cache is not None:
@@ -215,10 +216,26 @@ class TableReader:
         internal-parallelism makespan."""
         spans = [(e.offset, e.size + BLOCK_TRAILER_SIZE) for e in entries]
         raws = self._handle.read_many(spans, category=category, concurrency=concurrency)
-        return [
-            DataBlock.parse(unwrap_block(raw, verify_checksum=self._options.verify_checksums))
-            for raw in raws
-        ]
+        verify = self._options.verify_checksums
+        return [parse_block_raw(raw, verify_checksum=verify) for raw in raws]
+
+    def read_blocks_raw(
+        self,
+        entries: list[IndexEntry],
+        *,
+        category: str,
+        concurrency: int,
+    ) -> list[bytes]:
+        """Fetch several blocks' *raw stored bytes* (payload + trailer),
+        charged identically to :meth:`read_blocks_concurrently`.
+
+        This is the offload-mode prep step: the parent process performs all
+        (simulated) I/O here, then ships the raw bytes to a worker which
+        verifies/decodes them off the parent's GIL.  Checksums are therefore
+        deliberately *not* verified here — the worker does that as part of
+        its compute."""
+        spans = [(e.offset, e.size + BLOCK_TRAILER_SIZE) for e in entries]
+        return self._handle.read_many(spans, category=category, concurrency=concurrency)
 
     # -- point lookup ------------------------------------------------------------
 

@@ -60,9 +60,15 @@ _HARNESS_GEOMETRY = dict(
 )
 
 
-def harness_options() -> Options:
-    """The store configuration every harness run uses."""
-    return Options(compaction_style=COMPACTION_SELECTIVE, **_HARNESS_GEOMETRY)
+def harness_options(**overrides) -> Options:
+    """The store configuration every harness run uses.
+
+    ``overrides`` lets drivers layer extra options onto the fixed harness
+    geometry — e.g. ``compaction_offload="process"`` to crash-test the
+    offloaded execution backend (DESIGN.md §11)."""
+    params: dict = dict(compaction_style=COMPACTION_SELECTIVE, **_HARNESS_GEOMETRY)
+    params.update(overrides)
+    return Options(**params)
 
 
 # --------------------------------------------------------------- workload
@@ -141,8 +147,20 @@ def _touched_keys(op: tuple | None) -> list[bytes]:
 # --------------------------------------------------------------- execution
 
 
+def _quiet_shutdown(db: DB) -> None:
+    """Stop a crashed DB's execution backends without the closing flush.
+
+    A simulated crash leaves the DB unusable but its worker pools (subtask
+    threads, offload processes) alive; crashing hundreds of times per
+    harness run would otherwise accumulate leaked workers."""
+    try:
+        db._shutdown_executors()
+    except BaseException:  # noqa: BLE001 - best-effort cleanup
+        pass
+
+
 def _run_workload(
-    fs: FaultInjectionFS, ops: list[tuple]
+    fs: FaultInjectionFS, ops: list[tuple], options: Options | None = None
 ) -> tuple[dict[bytes, bytes], tuple | None]:
     """Run ``ops`` until completion or the scheduled crash fires.
 
@@ -152,19 +170,20 @@ def _run_workload(
     """
     acked: dict[bytes, bytes] = {}
     try:
-        db = DB(fs, harness_options(), seed=1)
+        db = DB(fs, options or harness_options(), seed=1)
     except BaseException:  # noqa: BLE001 - crash during open
         return acked, None
     for op in ops:
         try:
             _apply_op(db, op)
         except BaseException:  # noqa: BLE001 - crash (or its fallout)
+            _quiet_shutdown(db)
             return acked, op
         acked = _expected_after(acked, op)
     try:
         db.close()
     except BaseException:  # noqa: BLE001 - crash during the closing flush
-        pass
+        _quiet_shutdown(db)
     return acked, None
 
 
@@ -185,12 +204,15 @@ def _check_recovery(
     pending: tuple | None,
     *,
     repair: bool = True,
+    options: Options | None = None,
 ) -> list[str]:
     """Reopen the healed store and verify every invariant; returns the
     violations (empty = this crash point recovers perfectly)."""
     violations: list[str] = []
+    if options is None:
+        options = harness_options()
     try:
-        db = DB(fs, harness_options(), seed=1)
+        db = DB(fs, options, seed=1)
     except BaseException as exc:  # noqa: BLE001 - any failure is a violation
         return [f"reopen failed: {type(exc).__name__}: {exc}"]
 
@@ -250,8 +272,8 @@ def _check_recovery(
         if repair and scanned is not None:
             clone = _clone_files(fs)
             try:
-                repair_store(clone, harness_options())
-                repaired = DB(clone, harness_options(), seed=1)
+                repair_store(clone, options)
+                repaired = DB(clone, options, seed=1)
                 try:
                     repaired_view = dict(repaired.scan())
                 finally:
@@ -337,13 +359,19 @@ def run_crash_test(
     max_points: int = 96,
     seed: int = 0,
     check_repair: bool = True,
+    options_overrides: dict | None = None,
 ) -> CrashTestReport:
     """Phase A: measure the workload's sync schedule; phase B: crash at
-    (up to ``max_points`` of) its barriers and verify recovery."""
+    (up to ``max_points`` of) its barriers and verify recovery.
+
+    ``options_overrides`` layers extra :class:`Options` fields onto the
+    harness geometry for every DB the harness opens (workload, recovery,
+    and repair runs alike)."""
     ops = build_workload(num_ops, seed)
+    options = harness_options(**(options_overrides or {}))
 
     baseline_fs = FaultInjectionFS(SimulatedFS(), FaultPolicy(seed=seed))
-    _run_workload(baseline_fs, ops)
+    _run_workload(baseline_fs, ops, options)
     total = baseline_fs.sync_points
 
     report = CrashTestReport(seed=seed, num_ops=num_ops, total_sync_points=total)
@@ -351,7 +379,7 @@ def run_crash_test(
         fs = FaultInjectionFS(
             SimulatedFS(), FaultPolicy(seed=seed, crash_at_sync=point)
         )
-        acked, pending = _run_workload(fs, ops)
+        acked, pending = _run_workload(fs, ops, options)
         if not fs.crashed:
             # Deterministic schedule: every enumerated barrier must fire.
             report.failures.append(
@@ -359,7 +387,9 @@ def run_crash_test(
             )
             continue
         fs.heal()
-        violations = _check_recovery(fs, acked, pending, repair=check_repair)
+        violations = _check_recovery(
+            fs, acked, pending, repair=check_repair, options=options
+        )
         report.points_tested.append(point)
         if violations:
             report.failures.append({"point": point, "violations": violations})
@@ -387,9 +417,28 @@ def build_crashtest_parser():
                         help="smaller workload for CI (still >= 50 points)")
     parser.add_argument("--no-repair", action="store_true",
                         help="skip the repair-convergence check")
+    parser.add_argument("--offload", choices=["none", "thread", "process"],
+                        default="none",
+                        help="run every harness DB with this compaction "
+                        "offload backend (default none)")
     parser.add_argument("--json", metavar="PATH",
                         help="also write the full report as JSON")
     return parser
+
+
+def offload_overrides(mode: str) -> dict:
+    """Options overrides for crash-testing the offload backend.
+
+    The fork context keeps per-crash-point pool startup cheap (the harness
+    opens hundreds of DBs), and two workers are enough to exercise the
+    concurrent submit paths."""
+    if mode == "none":
+        return {}
+    return {
+        "compaction_offload": mode,
+        "compaction_offload_mp_context": "fork",
+        "compaction_workers": 2,
+    }
 
 
 def run_crashtest_cli(argv: list[str]) -> int:
@@ -402,6 +451,7 @@ def run_crashtest_cli(argv: list[str]) -> int:
         max_points=max_points,
         seed=args.seed,
         check_repair=not args.no_repair,
+        options_overrides=offload_overrides(args.offload),
     )
     print(report.summary())
     if args.json:

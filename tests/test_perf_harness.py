@@ -41,6 +41,7 @@ EXPECTED_PATHS = {
     "varint_roundtrip",
     "block_encode",
     "block_decode",
+    "block_decode_raw",
     "merge_visible",
     "compaction_merge",
     "seq_fill",
