@@ -30,8 +30,6 @@ only fails on a real pipeline regression, not shared-runner noise.
 
 from __future__ import annotations
 
-import argparse
-import json
 import platform
 import sys
 import tempfile
@@ -41,6 +39,8 @@ from pathlib import Path
 ROOT = Path(__file__).resolve().parents[2]
 if str(ROOT / "src") not in sys.path:
     sys.path.insert(0, str(ROOT / "src"))
+if str(ROOT / "benchmarks" / "perf") not in sys.path:
+    sys.path.insert(0, str(ROOT / "benchmarks" / "perf"))
 
 BASELINE_PATH = ROOT / "BENCH_concurrency.json"
 #: Full-run target (the acceptance bar) and the generous CI gate.
@@ -170,29 +170,16 @@ def run_suite(quick: bool) -> dict:
 
 def main(argv: list[str] | None = None) -> int:
     """Run the suite; write the JSON report or gate on the CI floor."""
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--quick", action="store_true", help="CI smoke sizes")
-    parser.add_argument(
-        "--check",
-        action="store_true",
-        help="gate on the minimum 4-thread speedup instead of writing JSON",
-    )
-    parser.add_argument("--output", type=Path, default=BASELINE_PATH, help="report path")
-    args = parser.parse_args(argv)
+    from harness import gate_speedup, perf_arg_parser, write_report
 
+    args = perf_arg_parser(__doc__, BASELINE_PATH).parse_args(argv)
     report = run_suite(args.quick)
     if args.check:
-        if report["speedup_4t"] < CHECK_MIN_SPEEDUP_4T:
-            print(
-                f"\nFAIL: concurrent pipeline speedup {report['speedup_4t']}x "
-                f"at {THREADS} threads is below the {CHECK_MIN_SPEEDUP_4T}x floor"
-            )
-            return 1
-        print(f"\nOK: speedup {report['speedup_4t']}x >= {CHECK_MIN_SPEEDUP_4T}x floor")
-        return 0
-    args.output.write_text(json.dumps(report, indent=1, sort_keys=True) + "\n")
-    print(f"\nwrote {args.output}")
-    return 0
+        return gate_speedup(
+            report, "speedup_4t", CHECK_MIN_SPEEDUP_4T,
+            f"concurrent pipeline speedup at {THREADS} threads",
+        )
+    return write_report(report, args.output)
 
 
 if __name__ == "__main__":

@@ -536,6 +536,48 @@ def bench_observability(suite: Suite) -> None:
 
 
 # ----------------------------------------------------------------- reporting
+#
+# The helpers below are the shared CLI surface of every benchmarks/perf
+# script: the same --quick/--check/--output triple, the same report
+# writer, and the same speedup-floor gate.  Scripts import them with
+# ``from harness import ...`` (they run as plain scripts, so the perf
+# directory is already on sys.path).
+
+
+def perf_arg_parser(doc: str, default_output: Path) -> argparse.ArgumentParser:
+    """The --quick/--check/--output parser every perf script shares."""
+    parser = argparse.ArgumentParser(description=doc.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI smoke sizes")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="gate on the regression floor instead of writing the report",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=default_output, help="report path"
+    )
+    return parser
+
+
+def write_report(report: dict, output: Path) -> int:
+    """Write the canonical JSON report; returns the exit status (0)."""
+    output.write_text(json.dumps(report, indent=1, sort_keys=True) + "\n")
+    print(f"\nwrote {output}")
+    return 0
+
+
+def gate_speedup(report: dict, key: str, floor: float, label: str) -> int:
+    """--check gate: fail unless ``report[key]`` meets ``floor``.
+
+    Prints the same OK/FAIL lines every scaling benchmark uses; returns
+    the process exit status.
+    """
+    value = report[key]
+    if value < floor:
+        print(f"\nFAIL: {label} {value}x is below the {floor}x floor")
+        return 1
+    print(f"\nOK: {label} {value}x >= {floor}x floor")
+    return 0
 
 
 def check_against_baseline(report: dict, baseline_path: Path) -> int:
@@ -588,17 +630,7 @@ def check_against_baseline(report: dict, baseline_path: Path) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     """Run the suite; write the JSON report or check it against baseline."""
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--quick", action="store_true", help="CI smoke sizes")
-    parser.add_argument(
-        "--check",
-        action="store_true",
-        help="compare against the committed baseline instead of rewriting it",
-    )
-    parser.add_argument(
-        "--output", type=Path, default=BASELINE_PATH, help="report path"
-    )
-    args = parser.parse_args(argv)
+    args = perf_arg_parser(__doc__, BASELINE_PATH).parse_args(argv)
 
     suite = Suite(quick=args.quick)
     print(f"hot-path perf harness ({'quick' if args.quick else 'full'} mode)")
@@ -612,9 +644,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.check:
         print()
         return check_against_baseline(report, args.output)
-    args.output.write_text(json.dumps(report, indent=1, sort_keys=True) + "\n")
-    print(f"\nwrote {args.output}")
-    return 0
+    return write_report(report, args.output)
 
 
 if __name__ == "__main__":

@@ -19,7 +19,11 @@ import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "..", "src"))
 
-from repro.tools.crashtest import offload_overrides, run_crash_test  # noqa: E402
+from repro.tools.crashtest import (  # noqa: E402
+    offload_overrides,
+    run_crash_test,
+    run_sharded_crash_test,
+)
 
 REPORT = os.path.join(os.path.dirname(__file__), "..", "..", "BENCH_crash_consistency.json")
 
@@ -37,16 +41,29 @@ def main(argv: list[str] | None = None) -> int:
                         default="none",
                         help="crash-test with this compaction offload "
                         "backend (default none)")
+    parser.add_argument("--sharded", action="store_true",
+                        help="crash-test the 2-shard ShardedDB (machine-wide "
+                        "sync clock, split/merge ops in the workload)")
     args = parser.parse_args(argv)
+    if args.sharded and args.report == REPORT:
+        args.report = REPORT.replace(".json", "_sharded.json")
 
     config = QUICK if args.quick else FULL
     runs = []
     failed = False
     for seed in config["seeds"]:
-        report = run_crash_test(
-            num_ops=config["num_ops"], max_points=config["max_points"], seed=seed,
-            options_overrides=offload_overrides(args.offload),
-        )
+        if args.sharded:
+            report = run_sharded_crash_test(
+                num_ops=config["num_ops"], max_points=config["max_points"],
+                seed=seed,
+                options_overrides=offload_overrides(args.offload),
+            )
+        else:
+            report = run_crash_test(
+                num_ops=config["num_ops"], max_points=config["max_points"],
+                seed=seed,
+                options_overrides=offload_overrides(args.offload),
+            )
         print(report.summary())
         runs.append(report.to_dict())
         failed = failed or not report.passed
@@ -54,6 +71,7 @@ def main(argv: list[str] | None = None) -> int:
     payload = {
         "mode": "quick" if args.quick else "full",
         "offload": args.offload,
+        "sharded": args.sharded,
         "total_points_tested": sum(len(r["points_tested"]) for r in runs),
         "passed": not failed,
         "runs": runs,

@@ -10,6 +10,12 @@ key structure is the heart of the paper's cache-invalidation story:
 * **Block Compaction** keeps the file and the offsets of clean blocks, so
   their cache entries stay valid across the compaction; only dirty blocks'
   entries die.
+
+A sharded deployment hands every engine the *same* underlying
+:class:`~repro.cache.lru.ShardedLRUCache` with a per-shard ``namespace``:
+keys become ``(namespace, file_number, offset)``, so file numbers from
+different shards cannot collide while the byte budget — and the eviction
+pressure — is genuinely global (a hot shard may hold more than 1/N of it).
 """
 
 from __future__ import annotations
@@ -28,10 +34,35 @@ class BlockCache:
     ``shards`` > 1 partitions the ``(file_number, offset)`` key space across
     independently locked LRU shards (DESIGN.md §9); the default of 1 keeps
     the single-mutex behaviour — and eviction order — bit-identical.
+
+    ``lru`` (optional) supplies a pre-built, possibly *shared*
+    :class:`ShardedLRUCache` instead of constructing a private one;
+    ``namespace`` then scopes this facade's keys within it (DESIGN.md §12).
     """
 
-    def __init__(self, capacity_bytes: int, shards: int = 1, tracer=None):
-        self._lru = ShardedLRUCache(capacity_bytes, shards=shards, tracer=tracer)
+    def __init__(
+        self,
+        capacity_bytes: int,
+        shards: int = 1,
+        tracer=None,
+        *,
+        lru: ShardedLRUCache | None = None,
+        namespace: str | None = None,
+    ):
+        if lru is not None:
+            self._lru = lru
+        else:
+            self._lru = ShardedLRUCache(capacity_bytes, shards=shards, tracer=tracer)
+        self._namespace = namespace
+
+    def _key(self, file_number: int, offset: int):
+        if self._namespace is None:
+            return (file_number, offset)
+        return (self._namespace, file_number, offset)
+
+    @property
+    def namespace(self) -> str | None:
+        return self._namespace
 
     @property
     def capacity(self) -> int:
@@ -62,25 +93,43 @@ class BlockCache:
         return len(self._lru)
 
     def get(self, file_number: int, offset: int) -> ParsedBlock | None:
-        return self._lru.get((file_number, offset))
+        return self._lru.get(self._key(file_number, offset))
 
     def insert(self, file_number: int, offset: int, block: ParsedBlock) -> None:
-        self._lru.insert((file_number, offset), block, charge=block.memory_bytes())
+        self._lru.insert(
+            self._key(file_number, offset), block, charge=block.memory_bytes()
+        )
 
     def invalidate_file(self, file_number: int) -> int:
         """Drop every block of ``file_number`` (table-compacted or deleted
         file).  Returns the number of entries invalidated."""
-        return self._lru.invalidate_where(lambda key: key[0] == file_number)
+        if self._namespace is None:
+            return self._lru.invalidate_where(lambda key: key[0] == file_number)
+        namespace = self._namespace
+        return self._lru.invalidate_where(
+            lambda key: key[0] == namespace and key[1] == file_number
+        )
 
     def invalidate_blocks(self, file_number: int, offsets: set[int]) -> int:
         """Drop specific blocks of ``file_number`` (the dirty blocks a Block
         Compaction rewrote).  Clean blocks stay cached."""
+        if self._namespace is None:
+            return self._lru.invalidate_where(
+                lambda key: key[0] == file_number and key[1] in offsets
+            )
+        namespace = self._namespace
         return self._lru.invalidate_where(
-            lambda key: key[0] == file_number and key[1] in offsets
+            lambda key: key[0] == namespace
+            and key[1] == file_number
+            and key[2] in offsets
         )
 
     def clear(self) -> None:
-        self._lru.clear()
+        if self._namespace is None:
+            self._lru.clear()
+        else:
+            namespace = self._namespace
+            self._lru.invalidate_where(lambda key: key[0] == namespace)
 
     def hit_rate(self) -> float:
         return self._lru.hit_rate()

@@ -17,6 +17,39 @@ from collections import OrderedDict
 from dataclasses import dataclass, replace
 from typing import Any, Callable, Hashable, Iterator
 
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_FNV_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+def _fnv1a_64(data: bytes) -> int:
+    value = _FNV_OFFSET
+    for byte in data:
+        value = ((value ^ byte) * _FNV_PRIME) & _FNV_MASK
+    return value
+
+
+def stable_hash(key: Hashable) -> int:
+    """A process-stable hash for shard routing.
+
+    Python's builtin ``hash`` is randomized per process for ``str`` /
+    ``bytes`` (PYTHONHASHSEED), so two processes — or two runs — would
+    route the same key to different shards.  Ints (and, transitively,
+    tuples of ints) keep their builtin hash, which is already
+    deterministic, so the engine's historical ``(file_number, offset)``
+    routing is unchanged; text-like keys go through FNV-1a instead.
+    """
+    if isinstance(key, str):
+        return _fnv1a_64(key.encode("utf-8"))
+    if isinstance(key, (bytes, bytearray, memoryview)):
+        return _fnv1a_64(bytes(key))
+    if isinstance(key, tuple):
+        # Hashing a tuple of (deterministic) ints is itself deterministic,
+        # and stable_hash(int) == hash(int), so all-int tuples route
+        # exactly as they always did.
+        return hash(tuple(stable_hash(item) for item in key))
+    return hash(key)
+
 
 @dataclass
 class LRUStats:
@@ -181,9 +214,11 @@ class ShardedLRUCache:
     and stats — is bit-identical to the unsharded cache, which is what
     keeps the default engine's simulated metrics unchanged.
 
-    Shard routing uses Python's builtin ``hash``: the engine's cache keys
-    are ints and tuples of ints, whose hashes are deterministic across
-    processes, so sharded runs stay reproducible.
+    Shard routing uses :func:`stable_hash`: ints and tuples of ints keep
+    Python's builtin (already deterministic) hash, while ``str`` / ``bytes``
+    keys — whose builtin hash is randomized per process — are routed
+    through FNV-1a, so sharded runs stay reproducible regardless of
+    PYTHONHASHSEED.
 
     ``tracer`` (optional) records a ``cache.shard_wait`` span whenever a
     shard lock is contended — the read-scaling signal the sharding exists
@@ -214,12 +249,12 @@ class ShardedLRUCache:
         return self._num_shards
 
     def shard_index(self, key: Hashable) -> int:
-        return hash(key) % self._num_shards
+        return stable_hash(key) % self._num_shards
 
     def _shard(self, key: Hashable) -> LRUCache:
         if self._num_shards == 1:
             return self._shards[0]
-        shard = self._shards[hash(key) % self._num_shards]
+        shard = self._shards[stable_hash(key) % self._num_shards]
         tracer = self._tracer
         if tracer is not None and tracer.enabled:
             # Sample contention: a failed non-blocking acquire means another

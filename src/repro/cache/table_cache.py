@@ -37,14 +37,47 @@ class TableCache:
     concurrent point reads resolve their readers under per-shard locks
     (DESIGN.md §9); 1 (the default) is bit-identical to the single-mutex
     cache.
+
+    ``lru`` (optional) supplies a pre-built, possibly *shared*
+    :class:`ShardedLRUCache` — the sharded engine's one global open-table
+    budget — with ``namespace`` scoping this facade's keys so file numbers
+    from different DB shards cannot collide (DESIGN.md §12).
     """
 
-    def __init__(self, fs: FileSystem, options: Options, tracer=None):
+    def __init__(
+        self,
+        fs: FileSystem,
+        options: Options,
+        tracer=None,
+        *,
+        lru: ShardedLRUCache | None = None,
+        namespace: str | None = None,
+    ):
         self._fs = fs
         self._options = options
-        self._lru = ShardedLRUCache(
-            options.table_cache_capacity,
-            shards=options.cache_shards,
+        self._namespace = namespace
+        if lru is not None:
+            self._lru = lru
+        else:
+            self._lru = ShardedLRUCache(
+                options.table_cache_capacity,
+                shards=options.cache_shards,
+                on_evict=lambda _key, reader: reader.close(),
+                tracer=tracer,
+            )
+
+    def _key(self, file_number: int):
+        if self._namespace is None:
+            return file_number
+        return (self._namespace, file_number)
+
+    @staticmethod
+    def shared_lru(capacity: int, *, shards: int = 1, tracer=None) -> ShardedLRUCache:
+        """Build an LRU suitable for sharing across per-shard TableCaches
+        (the on_evict hook closes whichever shard's reader is displaced)."""
+        return ShardedLRUCache(
+            capacity,
+            shards=shards,
             on_evict=lambda _key, reader: reader.close(),
             tracer=tracer,
         )
@@ -89,7 +122,7 @@ class TableCache:
         # Atomic per shard: two concurrent misses must not double-open the
         # file (the loser's reader would be replaced and closed while the
         # winner might already be probing it).
-        return self._lru.get_or_insert(file_number, open_reader, charge=1)
+        return self._lru.get_or_insert(self._key(file_number), open_reader, charge=1)
 
     def reload(self, file_number: int) -> None:
         """Refresh cached metadata after an in-place append.
@@ -97,19 +130,25 @@ class TableCache:
         Block Compaction rewrites a file's index/filter/footer; a cached
         reader must re-read them or it would keep serving the stale section.
         """
-        reader = self._lru.peek(file_number)
+        reader = self._lru.peek(self._key(file_number))
         if reader is not None:
             reader.reload()
 
     def evict(self, file_number: int) -> None:
         """Close and drop the reader for a deleted file."""
-        self._lru.erase(file_number)
+        self._lru.erase(self._key(file_number))
+
+    def _own_keys(self):
+        if self._namespace is None:
+            return self._lru.keys()
+        namespace = self._namespace
+        return (key for key in self._lru.keys() if key[0] == namespace)
 
     def memory_cost(self) -> TableCacheMemory:
         """Index/filter bytes held by all cached tables (Fig 15)."""
         memory = TableCacheMemory()
-        for file_number in self._lru.keys():
-            reader = self._lru.peek(file_number)
+        for key in self._own_keys():
+            reader = self._lru.peek(key)
             if reader is None:
                 continue
             index_bytes, filter_bytes = reader.metadata_memory_bytes()
@@ -118,4 +157,10 @@ class TableCache:
         return memory
 
     def close(self) -> None:
-        self._lru.clear()
+        if self._namespace is None:
+            self._lru.clear()
+        else:
+            # Shared budget: drop only this shard's readers (the LRU's
+            # on_evict hook closes each one); other shards stay cached.
+            namespace = self._namespace
+            self._lru.invalidate_where(lambda key: key[0] == namespace)

@@ -135,7 +135,19 @@ class DB:
         options: Options | None = None,
         *,
         seed: int = 0,
+        block_cache=None,
+        table_cache=None,
+        offload_pool=None,
+        scheduler_factory=None,
     ):
+        # The keyword-only injection points are how ShardedDB makes N
+        # engines share global budgets instead of multiplying them: a
+        # pre-built block/table cache (one byte budget across shards), a
+        # shared compaction OffloadPool, and a scheduler factory that
+        # registers this DB as one lane of a SharedBackgroundExecutor
+        # instead of spawning a private worker thread.  All default to
+        # None, which reproduces the historical self-owned resources
+        # bit-identically.
         self.options = options or Options()
         self.options.validate()
         self.fs = fs if fs is not None else SimulatedFS()
@@ -165,12 +177,16 @@ class DB:
         # cache_shards=1 (the default) degenerates to the single-mutex
         # caches, keeping eviction order — and thus simulated metrics —
         # bit-identical to the unsharded engine.
-        self.block_cache = BlockCache(
+        self.block_cache = block_cache if block_cache is not None else BlockCache(
             self.options.block_cache_capacity,
             shards=self.options.cache_shards,
             tracer=self.tracer,
         )
-        self.table_cache = TableCache(self.fs, self.options, tracer=self.tracer)
+        self.table_cache = (
+            table_cache
+            if table_cache is not None
+            else TableCache(self.fs, self.options, tracer=self.tracer)
+        )
         self.picker = CompactionPicker(self.options)
         self.deletion_manager = DeletionManager(
             self.fs, self.options, self.table_cache, self.block_cache, self.stats
@@ -230,7 +246,9 @@ class DB:
         self._writers: deque[_GroupWriter] = deque()
         self._writers_cv = threading.Condition()
         self._subtask_executor: ThreadPoolExecutor | None = None
-        self._offload_pool: OffloadPool | None = None
+        self._offload_pool: OffloadPool | None = offload_pool
+        #: Shared (injected) executors are closed by their owner, not here.
+        self._owns_offload_pool = offload_pool is None
         # Offload mode implies real subtask threads: each subtask thread
         # does its (simulated) I/O while sibling subtasks' merge compute
         # runs on the offload pool.
@@ -249,7 +267,10 @@ class DB:
         # and processes, so a failed open must tear them down or the
         # process leaks workers and may never exit.
         try:
-            if self.options.compaction_offload != OFFLOAD_NONE:
+            if (
+                self.options.compaction_offload != OFFLOAD_NONE
+                and self._offload_pool is None
+            ):
                 self._offload_pool = OffloadPool(
                     self.options.compaction_offload,
                     max(1, self.options.compaction_workers),
@@ -263,11 +284,18 @@ class DB:
 
             # Started last: the worker must only ever see a fully-recovered DB.
             if self.options.background_compaction:
-                self._scheduler = BackgroundScheduler(
-                    self._background_work,
-                    tracer=self.tracer,
-                    on_error=self._handle_background_error,
-                )
+                if scheduler_factory is not None:
+                    self._scheduler = scheduler_factory(
+                        self._background_step,
+                        tracer=self.tracer,
+                        on_error=self._handle_background_error,
+                    )
+                else:
+                    self._scheduler = BackgroundScheduler(
+                        self._background_work,
+                        tracer=self.tracer,
+                        on_error=self._handle_background_error,
+                    )
         except BaseException:
             self._shutdown_executors()
             raise
@@ -946,29 +974,40 @@ class DB:
         and committing under it."""
         scheduler = self._scheduler
         while not scheduler.stopping and not scheduler.paused:
-            if self._closed:
+            if not self._background_step():
                 return
-            if self._immutable is not None:
-                meta = self._build_flush()
-                with self._lock:
-                    self._commit_flush_locked(meta, self._pending_log)
-                    self._pending_log = None
-                    self._last_flush_meta = meta
-                    self._flush_cv.notify_all()
-                self._error_handler.note_success()
-                continue
+
+    def _background_step(self) -> bool:
+        """One unit of background work: a pending flush (which gates
+        foreground writers, so it always goes first) or one compaction
+        pick-execute-commit.  Returns True when something was done (more
+        may be due), False when the backlog is drained.  This is the
+        granularity a :class:`SharedBackgroundExecutor` lane runs at, so
+        N shards interleave fairly on one worker pool."""
+        if self._closed:
+            return False
+        if self._immutable is not None:
+            meta = self._build_flush()
             with self._lock:
-                if self._closed:
-                    return
-                task = self._pick_compaction()
-            if task is None:
-                return
-            result = self._execute_compaction(task)
-            with self._lock:
-                self._commit_compaction(task, result)
-                self._post_compaction_maintenance()
-                self._l0_cv.notify_all()
+                self._commit_flush_locked(meta, self._pending_log)
+                self._pending_log = None
+                self._last_flush_meta = meta
+                self._flush_cv.notify_all()
             self._error_handler.note_success()
+            return True
+        with self._lock:
+            if self._closed:
+                return False
+            task = self._pick_compaction()
+        if task is None:
+            return False
+        result = self._execute_compaction(task)
+        with self._lock:
+            self._commit_compaction(task, result)
+            self._post_compaction_maintenance()
+            self._l0_cv.notify_all()
+        self._error_handler.note_success()
+        return True
 
     def _handle_background_error(self, exc: BaseException) -> bool:
         """Scheduler ``on_error`` hook: route a failed background round
@@ -2128,7 +2167,7 @@ class DB:
             self._scheduler.close()
         if self._subtask_executor is not None:
             self._subtask_executor.shutdown(wait=True)
-        if self._offload_pool is not None:
+        if self._offload_pool is not None and self._owns_offload_pool:
             self._offload_pool.close()
 
     def _close_locked(self) -> None:

@@ -375,3 +375,253 @@ class BackgroundScheduler:
             finally:
                 if tracer.enabled:
                     tracer.end("bg.round", "background")
+
+
+class SchedulerLane:
+    """One shard's view of a :class:`SharedBackgroundExecutor`.
+
+    Implements the same signalling surface as :class:`BackgroundScheduler`
+    (``wake`` / ``pause`` / ``resume`` / ``wait_idle`` / ``error`` /
+    ``reset_error`` / ``on_worker_thread`` / ``close``), so a DB can be
+    handed a lane instead of a private scheduler without noticing.  The
+    difference is granularity: the lane's ``step_fn`` performs **one unit**
+    of work per call (one flush or one compaction) and returns whether it
+    did anything, which is what lets the executor interleave N shards
+    fairly instead of letting one shard drain its whole backlog while the
+    others starve.
+    """
+
+    def __init__(
+        self,
+        executor: "SharedBackgroundExecutor",
+        step_fn: Callable[[], bool],
+        *,
+        name: str = "lane",
+        tracer=NULL_TRACER,
+        on_error: Callable[[BaseException], bool] | None = None,
+    ):
+        self._executor = executor
+        self._step_fn = step_fn
+        self.name = name
+        self._tracer = tracer
+        self._on_error = on_error
+        # All mutable lane state is guarded by the executor's condition.
+        self._work_due = False
+        self._running: threading.Thread | None = None
+        self._paused = 0
+        self._closed = False
+        self.error: BaseException | None = None
+
+    # -- BackgroundScheduler-compatible surface ---------------------------
+
+    @property
+    def stopping(self) -> bool:
+        return self._closed or self._executor._closed
+
+    @property
+    def paused(self) -> bool:
+        return self._paused > 0
+
+    def wake(self) -> None:
+        cv = self._executor._cv
+        with cv:
+            if self._closed or self.error is not None:
+                return
+            self._work_due = True
+            cv.notify_all()
+
+    def pause(self) -> None:
+        cv = self._executor._cv
+        with cv:
+            self._paused += 1
+            cv.wait_for(
+                lambda: self.error is not None or self._closed or self._running is None
+            )
+
+    def resume(self) -> None:
+        cv = self._executor._cv
+        with cv:
+            self._paused = max(0, self._paused - 1)
+            if self._paused == 0:
+                self._work_due = True
+                cv.notify_all()
+
+    def wait_idle(self, timeout: float | None = None) -> bool:
+        cv = self._executor._cv
+        with cv:
+            return cv.wait_for(
+                lambda: self.error is not None
+                or self._closed
+                or (self._running is None and not self._work_due),
+                timeout,
+            )
+
+    def on_worker_thread(self) -> bool:
+        return self._running is threading.current_thread()
+
+    def raise_if_failed(self) -> None:
+        if self.error is not None:
+            raise self.error
+
+    def reset_error(self) -> bool:
+        """Clear a sticky background error and wake the lane; returns
+        True if there was an error to clear."""
+        cv = self._executor._cv
+        with cv:
+            if self.error is None:
+                return False
+            self.error = None
+            if not self._closed:
+                self._work_due = True
+                cv.notify_all()
+            return True
+
+    def close(self, timeout: float = 60.0) -> None:
+        """Detach this lane: let an in-flight step finish, then deregister.
+        The shared executor itself stays up (its owner closes it)."""
+        cv = self._executor._cv
+        with cv:
+            self._closed = True
+            cv.notify_all()
+            if self._running is not threading.current_thread():
+                cv.wait_for(lambda: self._running is None, timeout)
+        self._executor._unregister(self)
+
+
+class SharedBackgroundExecutor:
+    """One background worker pool multiplexing many shards' flush/compaction.
+
+    The generalization of :class:`BackgroundScheduler` the sharded engine
+    needs: instead of one daemon thread per DB (N shards → N threads → N
+    concurrent compactions' worth of device bandwidth), a fixed pool of
+    ``workers`` threads serves every registered :class:`SchedulerLane`,
+    picking the next runnable lane **round-robin** so a write-heavy shard
+    cannot starve its neighbours.
+
+    Invariant: at most one worker executes a given lane at a time (the
+    claim is the lane's ``_running`` thread), preserving each DB's
+    single-structural-mutator guarantee that makes lock-free compaction
+    execution safe.  Error handling per lane mirrors the solo scheduler:
+    ``on_error`` returning True re-queues the lane (the callback already
+    charged the backoff); False parks the lane with the error stored until
+    ``reset_error``.
+    """
+
+    def __init__(self, workers: int = 1, *, name: str = "repro-shared-bg"):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self._cv = threading.Condition()
+        self._lanes: list[SchedulerLane] = []
+        self._cursor = 0
+        self._closed = False
+        self._threads = [
+            threading.Thread(target=self._loop, name=f"{name}-{i}", daemon=True)
+            for i in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    @property
+    def num_workers(self) -> int:
+        return len(self._threads)
+
+    @property
+    def num_lanes(self) -> int:
+        with self._cv:
+            return len(self._lanes)
+
+    def register(
+        self,
+        step_fn: Callable[[], bool],
+        *,
+        name: str = "lane",
+        tracer=NULL_TRACER,
+        on_error: Callable[[BaseException], bool] | None = None,
+    ) -> SchedulerLane:
+        """Add a work source; returns its lane handle."""
+        lane = SchedulerLane(
+            self, step_fn, name=name, tracer=tracer, on_error=on_error
+        )
+        with self._cv:
+            if self._closed:
+                raise RuntimeError("executor is closed")
+            self._lanes.append(lane)
+        return lane
+
+    def _unregister(self, lane: SchedulerLane) -> None:
+        with self._cv:
+            if lane in self._lanes:
+                self._lanes.remove(lane)
+
+    def close(self, timeout: float = 60.0) -> None:
+        """Stop the pool; in-flight steps finish, queued work is abandoned
+        (shards are expected to be closed/drained first)."""
+        with self._cv:
+            self._closed = True
+            self._cv.notify_all()
+        for thread in self._threads:
+            if thread is not threading.current_thread():
+                thread.join(timeout=timeout)
+
+    # -- the workers ------------------------------------------------------
+
+    def _pick_locked(self) -> SchedulerLane | None:
+        """Next runnable lane, scanning round-robin from the shared cursor
+        (fairness: the cursor advances past each pick, so every due lane is
+        visited before any lane is served twice)."""
+        count = len(self._lanes)
+        for i in range(count):
+            lane = self._lanes[(self._cursor + i) % count]
+            if (
+                lane._work_due
+                and not lane._closed
+                and lane.error is None
+                and lane._paused == 0
+                and lane._running is None
+            ):
+                self._cursor = (self._cursor + i + 1) % count
+                return lane
+        return None
+
+    def _loop(self) -> None:
+        while True:
+            with self._cv:
+                lane = self._pick_locked()
+                while lane is None and not self._closed:
+                    self._cv.wait()
+                    lane = self._pick_locked()
+                if lane is None:
+                    return
+                lane._running = threading.current_thread()
+                lane._work_due = False
+            did_work = False
+            exc: BaseException | None = None
+            tracer = lane._tracer
+            if tracer.enabled:
+                tracer.begin("bg.round", "background", {"lane": lane.name})
+            try:
+                did_work = bool(lane._step_fn())
+            except BaseException as step_exc:  # noqa: BLE001 - routed to on_error
+                exc = step_exc
+            finally:
+                if tracer.enabled:
+                    tracer.end("bg.round", "background")
+            retry = False
+            if exc is not None and lane._on_error is not None:
+                try:
+                    retry = bool(lane._on_error(exc))
+                except BaseException as handler_exc:  # noqa: BLE001
+                    exc = handler_exc
+                    retry = False
+            with self._cv:
+                lane._running = None
+                if exc is not None:
+                    if retry and not lane._closed:
+                        lane._work_due = True
+                    else:
+                        lane.error = exc
+                elif did_work and not lane._closed:
+                    # More may be due; leave the lane runnable but go back
+                    # through the pick so siblings get their turn first.
+                    lane._work_due = True
+                self._cv.notify_all()

@@ -19,7 +19,7 @@ engine built without this package.
 """
 
 from .histogram import HistogramSnapshot, LatencyHistogram, LatencyRegistry
-from .prom import render_prometheus
+from .prom import render_prometheus, render_prometheus_sharded
 from .timeline import Span, build_spans, load_events, render_timeline, spans_to_json
 from .trace import NULL_TRACER, NullTracer, TraceEvent, Tracer
 
@@ -35,6 +35,7 @@ __all__ = [
     "build_spans",
     "load_events",
     "render_prometheus",
+    "render_prometheus_sharded",
     "render_timeline",
     "spans_to_json",
 ]

@@ -8,8 +8,14 @@ breakdown, block-cache hit counters, and — when latency histograms are
 enabled — one Prometheus histogram per operation with cumulative
 ``_bucket{le=...}`` counts over the shared log-scale bounds.
 
-The exporter only *reads*; it takes the engine lock briefly to get a
-consistent view of the version (level sizes) but copies histograms via
+:func:`render_prometheus_sharded` renders the same series for every shard
+of a :class:`~repro.sharding.sharded_db.ShardedDB` — one sample per shard
+per metric, distinguished by a ``shard="shard-000001"`` label, so shard
+skew (the signal the rebalancer acts on) is directly graphable — plus the
+router-level gauges (shard count, epoch, lifetime splits/merges).
+
+The exporters only *read*; they take the engine lock briefly to get a
+consistent view of the version (level sizes) but copy histograms via
 their own locks.  No HTTP server is included — callers embed the body in
 whatever endpoint they already serve.
 """
@@ -31,15 +37,51 @@ def _sanitize(name: str) -> str:
     return name.replace(".", "_").replace("-", "_")
 
 
-def render_prometheus(db) -> str:
-    """One Prometheus scrape body for ``db`` (see module docstring)."""
-    lines: list[str] = []
+def _label_str(labels: dict[str, str]) -> str:
+    """Render a label dict as ``{k="v",...}`` (empty dict -> empty string)."""
+    if not labels:
+        return ""
+    body = ",".join(f'{key}="{value}"' for key, value in labels.items())
+    return "{" + body + "}"
 
-    def emit(name: str, value, *, kind: str = "counter", labels: str = "", help_: str = "") -> None:
+
+class _Body:
+    """Accumulates exposition lines; emits each # TYPE header once, so a
+    metric sampled by several shards stays a single valid series."""
+
+    def __init__(self):
+        self.lines: list[str] = []
+        self._typed: set[str] = set()
+
+    def header(self, name: str, kind: str, help_: str = "") -> None:
+        if name in self._typed:
+            return
+        self._typed.add(name)
         if help_:
-            lines.append(f"# HELP {name} {help_}")
-        lines.append(f"# TYPE {name} {kind}")
-        lines.append(f"{name}{labels} {value}")
+            self.lines.append(f"# HELP {name} {help_}")
+        self.lines.append(f"# TYPE {name} {kind}")
+
+    def sample(
+        self,
+        name: str,
+        value,
+        labels: dict[str, str] | None = None,
+        *,
+        kind: str = "counter",
+        help_: str = "",
+    ) -> None:
+        """Emit one sample line, writing the HELP/TYPE header the first
+        time ``name`` is seen."""
+        self.header(name, kind, help_)
+        self.lines.append(f"{name}{_label_str(labels or {})} {value}")
+
+    def text(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+def _render_db(body: _Body, db, base: dict[str, str]) -> None:
+    """Append one DB's series to ``body``, every sample carrying ``base``
+    labels (empty for a standalone DB, ``{"shard": name}`` per shard)."""
 
     # -- DBStats scalars ---------------------------------------------------
     stats = db.stats
@@ -48,28 +90,33 @@ def render_prometheus(db) -> str:
         if not isinstance(value, (int, float)) or isinstance(value, bool):
             continue
         kind = "gauge" if field.name in _GAUGE_FIELDS else "counter"
-        emit(f"{_PREFIX}_{field.name}", value, kind=kind)
-    emit(
+        body.sample(f"{_PREFIX}_{field.name}", value, base, kind=kind)
+    body.sample(
         f"{_PREFIX}_write_amplification",
         round(stats.write_amplification(), 6),
+        base,
         kind="gauge",
         help_="SSTable bytes written / user bytes written",
     )
 
     # -- per-level series --------------------------------------------------
     name = f"{_PREFIX}_level_write_bytes"
-    lines.append(f"# TYPE {name} counter")
+    body.header(name, "counter")
     for level, nbytes in enumerate(stats.per_level_write_bytes):
-        lines.append(f'{name}{{level="{level}"}} {nbytes}')
+        body.lines.append(
+            f"{name}{_label_str({**base, 'level': str(level)})} {nbytes}"
+        )
     for metric, getter in (
         ("level_files", lambda lv: len(db.version.files_at(lv))),
         ("level_valid_bytes", db.version.level_valid_bytes),
         ("level_obsolete_bytes", db.version.level_obsolete_bytes),
     ):
         name = f"{_PREFIX}_{metric}"
-        lines.append(f"# TYPE {name} gauge")
+        body.header(name, "gauge")
         for level in range(db.version.num_levels):
-            lines.append(f'{name}{{level="{level}"}} {getter(level)}')
+            body.lines.append(
+                f"{name}{_label_str({**base, 'level': str(level)})} {getter(level)}"
+            )
 
     # -- IOStats -----------------------------------------------------------
     io = db.io_stats
@@ -77,38 +124,49 @@ def render_prometheus(db) -> str:
         "bytes_written", "bytes_read", "write_ops", "read_ops",
         "random_reads", "sequential_reads", "files_created", "files_deleted",
     ):
-        emit(f"{_PREFIX}_io_{field_name}", getattr(io, field_name))
-    emit(f"{_PREFIX}_io_sim_time_seconds", round(io.sim_time_s, 9))
+        body.sample(f"{_PREFIX}_io_{field_name}", getattr(io, field_name), base)
+    body.sample(f"{_PREFIX}_io_sim_time_seconds", round(io.sim_time_s, 9), base)
     name = f"{_PREFIX}_io_category_bytes"
-    lines.append(f"# TYPE {name} counter")
+    body.header(name, "counter")
     for category in sorted(io.per_category):
         counters = io.per_category[category]
         safe = _sanitize(category)
-        lines.append(f'{name}{{category="{safe}",dir="write"}} {counters.bytes_written}')
-        lines.append(f'{name}{{category="{safe}",dir="read"}} {counters.bytes_read}')
+        body.lines.append(
+            f"{name}{_label_str({**base, 'category': safe, 'dir': 'write'})}"
+            f" {counters.bytes_written}"
+        )
+        body.lines.append(
+            f"{name}{_label_str({**base, 'category': safe, 'dir': 'read'})}"
+            f" {counters.bytes_read}"
+        )
 
     # -- block + table caches ----------------------------------------------
     # Aggregates plus per-shard labeled counters (DESIGN.md §9): shard
     # balance is the signal sharded caches exist for, so the exporter
-    # surfaces it directly.
+    # surfaces it directly.  (``shard`` here is an LRU cache shard; the
+    # engine-shard label, when present, comes from ``base``.)
     for cache_name in ("block_cache", "table_cache"):
         cache = getattr(db, cache_name, None)
         if cache is None:
             continue
         snap = cache.snapshot()
-        emit(f"{_PREFIX}_{cache_name}_hits", snap.hits)
-        emit(f"{_PREFIX}_{cache_name}_misses", snap.misses)
-        emit(f"{_PREFIX}_{cache_name}_evictions", snap.evictions)
-        emit(f"{_PREFIX}_{cache_name}_invalidations", snap.invalidations)
-        emit(f"{_PREFIX}_{cache_name}_shards", cache.num_shards, kind="gauge")
-        if cache.num_shards > 1:
+        body.sample(f"{_PREFIX}_{cache_name}_hits", snap.hits, base)
+        body.sample(f"{_PREFIX}_{cache_name}_misses", snap.misses, base)
+        body.sample(f"{_PREFIX}_{cache_name}_evictions", snap.evictions, base)
+        body.sample(
+            f"{_PREFIX}_{cache_name}_invalidations", snap.invalidations, base
+        )
+        body.sample(
+            f"{_PREFIX}_{cache_name}_shards", cache.num_shards, base, kind="gauge"
+        )
+        if cache.num_shards > 1 and not base:
             name = f"{_PREFIX}_{cache_name}_shard_ops"
-            lines.append(f"# TYPE {name} counter")
+            body.header(name, "counter")
             for shard, shard_snap in enumerate(cache.shard_snapshots()):
-                lines.append(
+                body.lines.append(
                     f'{name}{{shard="{shard}",op="hit"}} {shard_snap.hits}'
                 )
-                lines.append(
+                body.lines.append(
                     f'{name}{{shard="{shard}",op="miss"}} {shard_snap.misses}'
                 )
 
@@ -117,22 +175,63 @@ def render_prometheus(db) -> str:
     if registry is not None:
         for op, snap in registry.snapshot().items():
             name = f"{_PREFIX}_{_sanitize(op)}_latency_seconds"
-            lines.append(f"# TYPE {name} histogram")
+            body.header(name, "histogram")
             cumulative = 0
             for index, bucket_count in enumerate(snap.counts):
                 if not bucket_count:
                     continue
                 cumulative += bucket_count
                 le = f"{BOUNDS[index]:.9g}" if index < len(BOUNDS) else "+Inf"
-                lines.append(f'{name}_bucket{{le="{le}"}} {cumulative}')
-            lines.append(f'{name}_bucket{{le="+Inf"}} {snap.count}')
-            lines.append(f"{name}_sum {round(snap.total, 9)}")
-            lines.append(f"{name}_count {snap.count}")
+                body.lines.append(
+                    f"{name}_bucket{_label_str({**base, 'le': le})} {cumulative}"
+                )
+            body.lines.append(
+                f"{name}_bucket{_label_str({**base, 'le': '+Inf'})} {snap.count}"
+            )
+            body.lines.append(
+                f"{name}_sum{_label_str(base)} {round(snap.total, 9)}"
+            )
+            body.lines.append(f"{name}_count{_label_str(base)} {snap.count}")
 
     # -- tracer ------------------------------------------------------------
     tracer = getattr(db, "tracer", None)
     if tracer is not None and tracer.enabled:
-        emit(f"{_PREFIX}_trace_events_recorded", tracer.events_recorded)
-        emit(f"{_PREFIX}_trace_events_buffered", len(tracer), kind="gauge")
+        body.sample(f"{_PREFIX}_trace_events_recorded", tracer.events_recorded, base)
+        body.sample(
+            f"{_PREFIX}_trace_events_buffered", len(tracer), base, kind="gauge"
+        )
 
-    return "\n".join(lines) + "\n"
+
+def render_prometheus(db) -> str:
+    """One Prometheus scrape body for ``db`` (see module docstring)."""
+    body = _Body()
+    _render_db(body, db, {})
+    return body.text()
+
+
+def render_prometheus_sharded(sharded_db) -> str:
+    """One scrape body for every shard of a ``ShardedDB``.
+
+    Each engine series is sampled once per shard with a ``shard=<name>``
+    label; router-level gauges (shard count, epoch, splits/merges) follow.
+    """
+    body = _Body()
+    for name, shard_db in sharded_db.shard_dbs():
+        _render_db(body, shard_db, {"shard": name})
+    body.sample(
+        f"{_PREFIX}_router_shards", sharded_db.num_shards, kind="gauge",
+        help_="Live shards in the routing map",
+    )
+    body.sample(
+        f"{_PREFIX}_router_epoch", sharded_db.router.epoch, kind="gauge",
+        help_="Router map generation (bumps on every split/merge)",
+    )
+    body.sample(
+        f"{_PREFIX}_router_splits_total", sharded_db.splits,
+        help_="Lifetime shard splits performed by this process",
+    )
+    body.sample(
+        f"{_PREFIX}_router_merges_total", sharded_db.merges,
+        help_="Lifetime shard merges performed by this process",
+    )
+    return body.text()

@@ -1,0 +1,12 @@
+"""Async serving front end (DESIGN.md §12).
+
+``python -m repro.serve --root DIR --shards N`` starts an asyncio server
+speaking a length-prefixed binary protocol over a range-sharded engine;
+:class:`ServeClient` is the matching client.  Connection concurrency
+amortizes into each shard's group commit via a bounded executor pool.
+"""
+
+from .client import ServeClient, ServeError
+from .server import ShardServer
+
+__all__ = ["ShardServer", "ServeClient", "ServeError"]

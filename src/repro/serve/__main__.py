@@ -1,0 +1,67 @@
+"""``python -m repro.serve``: run the sharded engine behind the asyncio
+front end on a local directory store."""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+
+from ..options import Options
+from ..sharding import LocalShardStore, ShardedDB
+from .server import ShardServer
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """CLI flags for the standalone server."""
+    parser = argparse.ArgumentParser(
+        prog="repro.serve",
+        description="Serve a range-sharded LSM store over a binary protocol",
+    )
+    parser.add_argument("--root", required=True, help="store root directory")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7707)
+    parser.add_argument("--shards", type=int, default=4, help="initial shard count")
+    parser.add_argument(
+        "--executor-threads", type=int, default=8,
+        help="blocking-call pool size (connections funnel into these)",
+    )
+    parser.add_argument(
+        "--auto-rebalance", action="store_true",
+        help="enable threshold-driven shard split/merge",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Open (or create) the sharded store at ``--root`` and serve it
+    until interrupted."""
+    args = build_parser().parse_args(argv)
+    options = Options().concurrent_pipeline()
+    store = LocalShardStore(args.root)
+    db = ShardedDB(
+        store, options, shards=args.shards, auto_rebalance=args.auto_rebalance
+    )
+    server = ShardServer(
+        db, args.host, args.port, executor_threads=args.executor_threads
+    )
+
+    async def run() -> None:
+        await server.start()
+        print(f"repro.serve listening on {server.host}:{server.port} "
+              f"({db.num_shards} shards)")
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        db.close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,97 @@
+"""Asyncio client for the serving protocol.
+
+One :class:`ServeClient` is one connection; requests on a connection are
+pipelined FIFO (the server responds in order).  Open many clients to
+exercise the server's cross-connection batching — that is exactly what
+the group-commit amortization test does.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from . import protocol as p
+
+
+class ServeError(Exception):
+    """The server answered STATUS_ERROR."""
+
+
+class ServeClient:
+    """One connection speaking the length-prefixed binary protocol."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0):
+        self.host = host
+        self.port = port
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        # FIFO pipelining: one in-flight request per await point, but a
+        # single lock keeps concurrent tasks on one client well-ordered.
+        self._lock = asyncio.Lock()
+
+    async def connect(self) -> "ServeClient":
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        return self
+
+    async def aclose(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except ConnectionError:
+                pass
+            self._writer = None
+            self._reader = None
+
+    async def _request(self, frame: bytes) -> tuple[int, bytes]:
+        async with self._lock:
+            self._writer.write(frame)
+            await self._writer.drain()
+            header = await self._reader.readexactly(4)
+            length = int.from_bytes(header, "big")
+            body = await self._reader.readexactly(length)
+        status, payload = p.decode_body(body)
+        if status == p.STATUS_ERROR:
+            raise ServeError(payload.decode("utf-8", "replace"))
+        return status, payload
+
+    # -- operations --------------------------------------------------------
+
+    async def ping(self) -> bytes:
+        _, payload = await self._request(p.encode_frame(p.OP_PING))
+        return payload
+
+    async def put(self, key: bytes, value: bytes) -> None:
+        await self._request(p.encode_put(key, value))
+
+    async def get(self, key: bytes) -> bytes | None:
+        status, payload = await self._request(p.encode_get(key))
+        return None if status == p.STATUS_NOT_FOUND else payload
+
+    async def delete(self, key: bytes) -> None:
+        await self._request(p.encode_delete(key))
+
+    async def multi_get(self, keys: list[bytes]) -> list[bytes | None]:
+        _, payload = await self._request(p.encode_multi_get(keys))
+        return p.decode_values(payload)
+
+    async def scan(
+        self,
+        start: bytes | None = None,
+        end: bytes | None = None,
+        limit: int | None = None,
+    ) -> list[tuple[bytes, bytes]]:
+        _, payload = await self._request(p.encode_scan(start, end, limit))
+        return p.decode_entries(payload)
+
+    async def batch(self, ops: list[tuple[int, bytes, bytes]]) -> None:
+        """``ops`` are (BATCH_PUT|BATCH_DELETE, key, value) tuples."""
+        await self._request(p.encode_batch(ops))
+
+    async def stats(self) -> dict:
+        import json
+
+        _, payload = await self._request(p.encode_frame(p.OP_STATS))
+        return json.loads(payload.decode("utf-8"))

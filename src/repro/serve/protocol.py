@@ -1,0 +1,239 @@
+"""The wire protocol: length-prefixed binary frames.
+
+Request frame::
+
+    [payload length : u32 BE][opcode : u8][payload]
+
+Response frame::
+
+    [payload length : u32 BE][status : u8][payload]
+
+The length covers opcode/status + payload.  All integers are big-endian.
+Payload layouts per opcode are documented on the encode helpers below.
+The protocol is deliberately minimal — the interesting part is on the
+server side, where thousands of connections' writes funnel through a small
+thread pool into each shard's leader/follower group commit, so the WAL
+append cost amortizes across connections exactly as it does across
+threads (DESIGN.md §7/§12).
+"""
+
+from __future__ import annotations
+
+import struct
+
+#: Opcodes.
+OP_PUT = 0x01
+OP_GET = 0x02
+OP_DELETE = 0x03
+OP_MULTI_GET = 0x04
+OP_SCAN = 0x05
+OP_BATCH = 0x06
+OP_STATS = 0x07
+OP_PING = 0x08
+
+#: Response statuses.
+STATUS_OK = 0x00
+STATUS_NOT_FOUND = 0x01
+STATUS_ERROR = 0x02
+
+#: Batch op tags (mirrors WriteBatch's TYPE_VALUE / TYPE_DELETION).
+BATCH_PUT = 0x01
+BATCH_DELETE = 0x00
+
+#: Hard cap on one frame (16 MiB): a corrupt length prefix must not make
+#: the server try to buffer gigabytes.
+MAX_FRAME = 16 * 1024 * 1024
+
+_U32 = struct.Struct(">I")
+
+
+class ProtocolError(Exception):
+    """Malformed frame (bad length, short payload, unknown opcode)."""
+
+
+def _lp(data: bytes) -> bytes:
+    return _U32.pack(len(data)) + data
+
+
+def _read_lp(payload: bytes, offset: int) -> tuple[bytes, int]:
+    if offset + 4 > len(payload):
+        raise ProtocolError("truncated length prefix")
+    (length,) = _U32.unpack_from(payload, offset)
+    offset += 4
+    if offset + length > len(payload):
+        raise ProtocolError("truncated field")
+    return payload[offset : offset + length], offset + length
+
+
+def encode_frame(code: int, payload: bytes = b"") -> bytes:
+    """One wire frame (request or response — the layout is shared)."""
+    body = bytes([code]) + payload
+    if len(body) > MAX_FRAME:
+        raise ProtocolError(f"frame too large: {len(body)} bytes")
+    return _U32.pack(len(body)) + body
+
+
+def decode_body(body: bytes) -> tuple[int, bytes]:
+    """Split a received frame body into (code, payload)."""
+    if not body:
+        raise ProtocolError("empty frame body")
+    return body[0], body[1:]
+
+
+# -- request payloads ------------------------------------------------------
+
+def encode_put(key: bytes, value: bytes) -> bytes:
+    """``[klen u32][key][value]`` (value runs to the end of the frame)."""
+    return encode_frame(OP_PUT, _lp(key) + value)
+
+
+def decode_put(payload: bytes) -> tuple[bytes, bytes]:
+    key, offset = _read_lp(payload, 0)
+    return key, payload[offset:]
+
+
+def encode_get(key: bytes) -> bytes:
+    return encode_frame(OP_GET, key)
+
+
+def encode_delete(key: bytes) -> bytes:
+    return encode_frame(OP_DELETE, key)
+
+
+def encode_multi_get(keys: list[bytes]) -> bytes:
+    """``[count u32]([klen u32][key])*``"""
+    out = bytearray(_U32.pack(len(keys)))
+    for key in keys:
+        out += _lp(key)
+    return encode_frame(OP_MULTI_GET, bytes(out))
+
+
+def decode_multi_get(payload: bytes) -> list[bytes]:
+    (count,) = _U32.unpack_from(payload, 0)
+    offset = 4
+    keys = []
+    for _ in range(count):
+        key, offset = _read_lp(payload, offset)
+        keys.append(key)
+    return keys
+
+
+def encode_scan(
+    start: bytes | None, end: bytes | None, limit: int | None
+) -> bytes:
+    """``[flags u8][start lp?][end lp?][limit u32?]`` — flag bits 0/1/2 mark
+    which of start/end/limit are present."""
+    flags = (
+        (1 if start is not None else 0)
+        | (2 if end is not None else 0)
+        | (4 if limit is not None else 0)
+    )
+    out = bytearray([flags])
+    if start is not None:
+        out += _lp(start)
+    if end is not None:
+        out += _lp(end)
+    if limit is not None:
+        out += _U32.pack(limit)
+    return encode_frame(OP_SCAN, bytes(out))
+
+
+def decode_scan(payload: bytes) -> tuple[bytes | None, bytes | None, int | None]:
+    """Inverse of :func:`encode_scan`; absent fields come back ``None``."""
+    if not payload:
+        raise ProtocolError("empty scan payload")
+    flags = payload[0]
+    offset = 1
+    start = end = limit = None
+    if flags & 1:
+        start, offset = _read_lp(payload, offset)
+    if flags & 2:
+        end, offset = _read_lp(payload, offset)
+    if flags & 4:
+        if offset + 4 > len(payload):
+            raise ProtocolError("truncated scan limit")
+        (limit,) = _U32.unpack_from(payload, offset)
+    return start, end, limit
+
+
+def encode_batch(ops: list[tuple[int, bytes, bytes]]) -> bytes:
+    """``[count u32]([tag u8][klen u32][key]([vlen u32][value] if put))*``"""
+    out = bytearray(_U32.pack(len(ops)))
+    for tag, key, value in ops:
+        out.append(tag)
+        out += _lp(key)
+        if tag == BATCH_PUT:
+            out += _lp(value)
+    return encode_frame(OP_BATCH, bytes(out))
+
+
+def decode_batch(payload: bytes) -> list[tuple[int, bytes, bytes]]:
+    """Inverse of :func:`encode_batch`; deletes carry an empty value."""
+    (count,) = _U32.unpack_from(payload, 0)
+    offset = 4
+    ops: list[tuple[int, bytes, bytes]] = []
+    for _ in range(count):
+        if offset >= len(payload):
+            raise ProtocolError("truncated batch")
+        tag = payload[offset]
+        offset += 1
+        key, offset = _read_lp(payload, offset)
+        value = b""
+        if tag == BATCH_PUT:
+            value, offset = _read_lp(payload, offset)
+        elif tag != BATCH_DELETE:
+            raise ProtocolError(f"unknown batch tag {tag}")
+        ops.append((tag, key, value))
+    return ops
+
+
+# -- response payloads -----------------------------------------------------
+
+def encode_values(values: list[bytes | None]) -> bytes:
+    """MULTI_GET response: ``[count u32]([found u8][vlen u32][value]?)*``"""
+    out = bytearray(_U32.pack(len(values)))
+    for value in values:
+        if value is None:
+            out.append(0)
+        else:
+            out.append(1)
+            out += _lp(value)
+    return bytes(out)
+
+
+def decode_values(payload: bytes) -> list[bytes | None]:
+    """Inverse of :func:`encode_values`; misses come back ``None``."""
+    (count,) = _U32.unpack_from(payload, 0)
+    offset = 4
+    values: list[bytes | None] = []
+    for _ in range(count):
+        if offset >= len(payload):
+            raise ProtocolError("truncated values")
+        found = payload[offset]
+        offset += 1
+        if found:
+            value, offset = _read_lp(payload, offset)
+            values.append(value)
+        else:
+            values.append(None)
+    return values
+
+
+def encode_entries(entries: list[tuple[bytes, bytes]]) -> bytes:
+    """SCAN response: ``[count u32]([klen][key][vlen][value])*``"""
+    out = bytearray(_U32.pack(len(entries)))
+    for key, value in entries:
+        out += _lp(key)
+        out += _lp(value)
+    return bytes(out)
+
+
+def decode_entries(payload: bytes) -> list[tuple[bytes, bytes]]:
+    (count,) = _U32.unpack_from(payload, 0)
+    offset = 4
+    entries = []
+    for _ in range(count):
+        key, offset = _read_lp(payload, offset)
+        value, offset = _read_lp(payload, offset)
+        entries.append((key, value))
+    return entries

@@ -1,0 +1,172 @@
+"""The asyncio serving front end.
+
+One event loop multiplexes every client connection; the blocking engine
+calls run on a small thread pool.  That funnel is the point: thousands of
+connections' concurrent PUTs land on at most ``executor_threads`` threads,
+which queue into each shard's leader/follower group commit — so the WAL
+append (the per-write device cost) is paid once per *group*, not once per
+connection (DESIGN.md §7).  Reads similarly collapse onto per-shard
+engine-lock (or superversion) acquisitions.
+
+The server fronts either a :class:`~repro.sharding.sharded_db.ShardedDB`
+or a plain :class:`~repro.core.db.DB` — anything with the put/get/delete/
+multi_get/scan/write surface.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from concurrent.futures import ThreadPoolExecutor
+
+from ..core.write_batch import WriteBatch
+from . import protocol as p
+
+
+class ShardServer:
+    """Serve a (Sharded)DB over the length-prefixed binary protocol."""
+
+    def __init__(
+        self,
+        db,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        executor_threads: int = 8,
+    ):
+        self.db = db
+        self.host = host
+        self.port = port
+        self._pool = ThreadPoolExecutor(
+            max_workers=executor_threads, thread_name_prefix="repro-serve"
+        )
+        self._server: asyncio.AbstractServer | None = None
+        #: Served-request counters (per opcode), for the stats endpoint.
+        self.requests: dict[str, int] = {}
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def aclose(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self._pool.shutdown(wait=True)
+
+    # -- request handling --------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                header = await reader.readexactly(4)
+                length = int.from_bytes(header, "big")
+                if length == 0 or length > p.MAX_FRAME:
+                    raise p.ProtocolError(f"bad frame length {length}")
+                body = await reader.readexactly(length)
+                response = await self._dispatch(body)
+                writer.write(response)
+                await writer.drain()
+        except (asyncio.IncompleteReadError, ConnectionResetError):
+            pass  # client hung up — the normal end of a connection
+        except p.ProtocolError as exc:
+            try:
+                writer.write(
+                    p.encode_frame(p.STATUS_ERROR, str(exc).encode("utf-8"))
+                )
+                await writer.drain()
+            except ConnectionError:
+                pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                # Server teardown cancels handlers mid-wait; the transport
+                # is going away either way.
+                pass
+
+    async def _dispatch(self, body: bytes) -> bytes:
+        opcode, payload = p.decode_body(body)
+        loop = asyncio.get_running_loop()
+        self.requests[self._op_name(opcode)] = (
+            self.requests.get(self._op_name(opcode), 0) + 1
+        )
+        try:
+            if opcode == p.OP_PING:
+                return p.encode_frame(p.STATUS_OK, b"pong")
+            if opcode == p.OP_PUT:
+                key, value = p.decode_put(payload)
+                await loop.run_in_executor(self._pool, self.db.put, key, value)
+                return p.encode_frame(p.STATUS_OK)
+            if opcode == p.OP_GET:
+                value = await loop.run_in_executor(self._pool, self.db.get, payload)
+                if value is None:
+                    return p.encode_frame(p.STATUS_NOT_FOUND)
+                return p.encode_frame(p.STATUS_OK, value)
+            if opcode == p.OP_DELETE:
+                await loop.run_in_executor(self._pool, self.db.delete, payload)
+                return p.encode_frame(p.STATUS_OK)
+            if opcode == p.OP_MULTI_GET:
+                keys = p.decode_multi_get(payload)
+                found = await loop.run_in_executor(self._pool, self.db.multi_get, keys)
+                return p.encode_frame(
+                    p.STATUS_OK, p.encode_values([found.get(key) for key in keys])
+                )
+            if opcode == p.OP_SCAN:
+                start, end, limit = p.decode_scan(payload)
+                entries = await loop.run_in_executor(
+                    self._pool, self.db.scan, start, end, limit
+                )
+                return p.encode_frame(p.STATUS_OK, p.encode_entries(entries))
+            if opcode == p.OP_BATCH:
+                ops = p.decode_batch(payload)
+                batch = WriteBatch()
+                for tag, key, value in ops:
+                    if tag == p.BATCH_PUT:
+                        batch.put(key, value)
+                    else:
+                        batch.delete(key)
+                await loop.run_in_executor(self._pool, self.db.write, batch)
+                return p.encode_frame(p.STATUS_OK)
+            if opcode == p.OP_STATS:
+                stats = await loop.run_in_executor(self._pool, self._stats_payload)
+                return p.encode_frame(p.STATUS_OK, stats)
+            raise p.ProtocolError(f"unknown opcode {opcode:#x}")
+        except p.ProtocolError:
+            raise
+        except Exception as exc:  # engine-level failure → structured error
+            return p.encode_frame(p.STATUS_ERROR, str(exc).encode("utf-8"))
+
+    def _stats_payload(self) -> bytes:
+        doc: dict = {"requests": dict(self.requests)}
+        if hasattr(self.db, "aggregate_stats"):
+            doc["engine"] = self.db.aggregate_stats()
+            doc["shards"] = self.db.shard_names()
+        return json.dumps(doc).encode("utf-8")
+
+    @staticmethod
+    def _op_name(opcode: int) -> str:
+        return {
+            p.OP_PUT: "put",
+            p.OP_GET: "get",
+            p.OP_DELETE: "delete",
+            p.OP_MULTI_GET: "multi_get",
+            p.OP_SCAN: "scan",
+            p.OP_BATCH: "batch",
+            p.OP_STATS: "stats",
+            p.OP_PING: "ping",
+        }.get(opcode, f"op_{opcode:#x}")

@@ -1,0 +1,27 @@
+"""Range-sharded multi-tenant engine (DESIGN.md §12).
+
+A :class:`~repro.sharding.sharded_db.ShardedDB` partitions the keyspace
+across N independent :class:`~repro.core.db.DB` engines — each with its own
+WAL, manifest, and directory — behind a range router, while **sharing** the
+global resource budgets instead of multiplying them: one background worker
+pool (:class:`~repro.core.scheduler.SharedBackgroundExecutor`), one block /
+table cache byte budget, and one compaction offload pool.  The key→shard
+map survives restart through a manifest-style ``ROUTER`` catalog, and
+shards split / merge dynamically as their level sizes or stall counters
+cross thresholds.
+"""
+
+from .router import RouterMap, ShardSpec, load_router, save_router
+from .sharded_db import ShardedDB
+from .store import LocalShardStore, MemoryShardStore, ShardStore
+
+__all__ = [
+    "RouterMap",
+    "ShardSpec",
+    "ShardStore",
+    "MemoryShardStore",
+    "LocalShardStore",
+    "ShardedDB",
+    "load_router",
+    "save_router",
+]

@@ -1,0 +1,131 @@
+"""Shard directory management.
+
+The engine's :class:`~repro.storage.fs.FileSystem` is a flat namespace —
+one directory, one WAL/manifest/CURRENT.  A sharded deployment therefore
+needs one filesystem *per shard* plus a tiny **root** filesystem holding
+the ``ROUTER`` catalog.  :class:`ShardStore` is that factory:
+
+* :class:`MemoryShardStore` — a :class:`~repro.storage.fs.SimulatedFS` per
+  shard, retained across close/reopen so recovery tests see durable state.
+  An optional ``fs_factory`` hook wraps every created filesystem — the
+  crash harness uses it to interpose
+  :class:`~repro.storage.faults.FaultInjectionFS` on root and shards alike.
+* :class:`LocalShardStore` — a :class:`~repro.storage.fs.LocalFS` per shard
+  under ``root/<shard-name>/``, each with its own
+  :class:`~repro.storage.device_model.DeviceModel` instance so realtime
+  device sleeps are charged (and slept) independently per shard — the
+  setting the sharding benchmark runs under.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+from abc import ABC, abstractmethod
+from typing import Callable
+
+from ..storage.fs import FileSystem, LocalFS, SimulatedFS
+
+#: Root-filesystem directory name (never a valid shard name).
+ROOT_DIR = "_router"
+
+
+class ShardStore(ABC):
+    """Hands out one filesystem per shard plus the root catalog fs."""
+
+    @property
+    @abstractmethod
+    def root_fs(self) -> FileSystem:
+        """The catalog filesystem (holds ROUTER-* and ROUTER.CURRENT)."""
+
+    @abstractmethod
+    def open_shard(self, name: str) -> FileSystem:
+        """Create-or-reopen the filesystem backing shard ``name``."""
+
+    @abstractmethod
+    def drop_shard(self, name: str) -> None:
+        """Destroy shard ``name``'s directory (a retired split/merge source)."""
+
+    @abstractmethod
+    def shard_names(self) -> list[str]:
+        """Names of every shard directory present (live or orphaned)."""
+
+
+class MemoryShardStore(ShardStore):
+    """In-memory store: shard state survives DB close/reopen (the durable
+    medium recovery tests exercise) but not process exit."""
+
+    def __init__(self, *, fs_factory: Callable[[str], FileSystem] | None = None):
+        self._fs_factory = fs_factory or (lambda _name: SimulatedFS())
+        self._root = self._fs_factory(ROOT_DIR)
+        self._shards: dict[str, FileSystem] = {}
+
+    @property
+    def root_fs(self) -> FileSystem:
+        return self._root
+
+    def open_shard(self, name: str) -> FileSystem:
+        if name == ROOT_DIR:
+            raise ValueError(f"{ROOT_DIR!r} is reserved for the router catalog")
+        fs = self._shards.get(name)
+        if fs is None:
+            fs = self._fs_factory(name)
+            self._shards[name] = fs
+        return fs
+
+    def drop_shard(self, name: str) -> None:
+        self._shards.pop(name, None)
+
+    def shard_names(self) -> list[str]:
+        return sorted(self._shards)
+
+
+class LocalShardStore(ShardStore):
+    """Real directories under ``root``; one LocalFS (and one DeviceModel
+    instance) per shard so realtime charges sleep independently."""
+
+    def __init__(
+        self,
+        root: str,
+        *,
+        device_factory: Callable[[], object] | None = None,
+        realtime: float = 0.0,
+    ):
+        self.root = root
+        self._device_factory = device_factory
+        self._realtime = realtime
+        os.makedirs(root, exist_ok=True)
+        self._root_fs = self._make_fs(ROOT_DIR)
+        self._open: dict[str, FileSystem] = {}
+
+    def _make_fs(self, name: str) -> FileSystem:
+        device = self._device_factory() if self._device_factory is not None else None
+        return LocalFS(
+            os.path.join(self.root, name), device, realtime=self._realtime
+        )
+
+    @property
+    def root_fs(self) -> FileSystem:
+        return self._root_fs
+
+    def open_shard(self, name: str) -> FileSystem:
+        if name == ROOT_DIR:
+            raise ValueError(f"{ROOT_DIR!r} is reserved for the router catalog")
+        fs = self._open.get(name)
+        if fs is None:
+            fs = self._make_fs(name)
+            self._open[name] = fs
+        return fs
+
+    def drop_shard(self, name: str) -> None:
+        self._open.pop(name, None)
+        path = os.path.join(self.root, name)
+        if os.path.isdir(path):
+            shutil.rmtree(path)
+
+    def shard_names(self) -> list[str]:
+        return sorted(
+            entry
+            for entry in os.listdir(self.root)
+            if entry != ROOT_DIR and os.path.isdir(os.path.join(self.root, entry))
+        )

@@ -25,7 +25,12 @@ import sys
 from ..errors import FileSystemError
 from ..obs.timeline import build_spans, load_events, render_timeline, spans_to_json
 from ..storage.fs import LocalFS
-from .metrics_report import format_cache_report, format_store_report
+from .metrics_report import (
+    format_cache_report,
+    format_sharded_store_report,
+    format_store_report,
+    is_sharded_store,
+)
 from .sst_dump import describe_manifest, describe_table, dump_table
 
 #: Subcommand names dispatched before the legacy positional parser.
@@ -103,7 +108,10 @@ def _run_metrics(argv: list[str]) -> int:
         print("either a store directory or --cache-report is required", file=sys.stderr)
         return 2
     try:
-        report = format_store_report(LocalFS(args.store))
+        if is_sharded_store(args.store):
+            report = format_sharded_store_report(args.store)
+        else:
+            report = format_store_report(LocalFS(args.store))
     except (ValueError, FileSystemError) as exc:
         print(exc, file=sys.stderr)
         return 2

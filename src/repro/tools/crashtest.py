@@ -28,23 +28,38 @@ Runs the synchronous engine (no background threads) so the sync schedule
 is a pure function of the seed — every run of the same seed crashes at
 bit-identical states.
 
+``--sharded`` runs the same protocol against a :class:`ShardedDB`: every
+shard filesystem *and* the router catalog share one global sync-barrier
+clock (:class:`MachineCrashClock`), and the scheduled crash takes down
+the whole machine at once — mid shard-split entry copy, mid router
+commit, mid source-shard teardown.  Recovery reopens the sharded store,
+which must GC orphan child shards and serve exactly the acked state.
+Two invariants shift with the sharded contract: batch atomicity is
+checked per shard (a cross-shard batch commits one WAL record per
+engine — ``ShardedDB.write_batch`` documents cross-shard atomicity out
+of scope), and the repair-convergence check — single-store by
+construction — is replaced by the router orphan-GC check.
+
 CLI::
 
     python -m repro.tools crashtest [--ops N] [--points N] [--seed N]
-                                    [--quick] [--json PATH]
+                                    [--quick] [--sharded] [--json PATH]
 """
 
 from __future__ import annotations
 
 import json
 import random
+import threading
 from dataclasses import dataclass, field
 
 from ..core.db import DB
 from ..core.write_batch import WriteBatch
+from ..errors import SimulatedCrashError
 from ..options import COMPACTION_SELECTIVE, Options
+from ..sharding import MemoryShardStore, ShardedDB
 from ..storage.faults import FaultInjectionFS, FaultPolicy
-from ..storage.fs import SimulatedFS
+from ..storage.fs import FileSystem, SimulatedFS
 from .repair import repair_store
 
 #: Tiny geometry: flushes, compactions, WAL rotations, and manifest growth
@@ -137,7 +152,8 @@ def _expected_after(state: dict[bytes, bytes], op: tuple) -> dict[bytes, bytes]:
 
 
 def _touched_keys(op: tuple | None) -> list[bytes]:
-    if op is None or op[0] == "flush":
+    # Router edits (split/merge) and flushes move bytes, not KV state.
+    if op is None or op[0] in ("flush", "split", "merge"):
         return []
     if op[0] == "batch":
         return sorted({key for _kind, key, _v in op[1]})
@@ -198,6 +214,79 @@ def _clone_files(fs: FaultInjectionFS) -> SimulatedFS:
     return clone
 
 
+def _state_violations(
+    db,
+    acked: dict[bytes, bytes],
+    pending: tuple | None,
+    *,
+    atomic_group=None,
+) -> tuple[list[str], dict[bytes, bytes] | None]:
+    """Invariants 1–3 against any reopened engine exposing get/scan.
+
+    ``atomic_group`` maps a key to its atomicity domain for the
+    all-or-nothing check — None means one global domain (a single engine,
+    where a batch is one WAL record); the sharded harness passes the
+    router's ``shard_for``, because a cross-shard batch commits one WAL
+    record *per shard* and only per-shard atomicity is the contract.
+
+    Returns ``(violations, scanned)`` — the full-scan view is handed back
+    so the single-store harness can feed it to the repair check."""
+    violations: list[str] = []
+    new_state = _expected_after(acked, pending) if pending else acked
+    touched = set(_touched_keys(pending))
+
+    # 1. acked-durable writes survive (keys the pending op touches are
+    #    judged by the atomicity rule instead).
+    for key, value in acked.items():
+        if key in touched:
+            continue
+        got = db.get(key)
+        if got != value:
+            violations.append(
+                f"acked write lost: {key!r} expected {value!r} got {got!r}"
+            )
+    for key in touched:
+        old, new = acked.get(key), new_state.get(key)
+        got = db.get(key)
+        if got != old and got != new:
+            violations.append(
+                f"half-visible write: {key!r} is {got!r}, "
+                f"expected old {old!r} or new {new!r}"
+            )
+
+    # 2. the pending op is all-or-nothing within each atomicity domain.
+    decisive = [
+        key for key in touched if acked.get(key) != new_state.get(key)
+    ]
+    domains: dict = {}
+    for key in decisive:
+        group = atomic_group(key) if atomic_group is not None else 0
+        domains.setdefault(group, []).append(key)
+    for keys in domains.values():
+        sides = {db.get(key) == new_state.get(key) for key in keys}
+        if len(sides) > 1:
+            violations.append(
+                f"pending op split: keys {keys!r} mix old and new state"
+            )
+
+    # 3. a full scan is structurally clean and agrees with point reads.
+    try:
+        scanned = dict(db.scan())
+    except BaseException as exc:  # noqa: BLE001
+        violations.append(f"scan failed: {type(exc).__name__}: {exc}")
+        scanned = None
+    if scanned is not None:
+        for key, value in acked.items():
+            if key in touched:
+                continue
+            if scanned.get(key) != value:
+                violations.append(
+                    f"scan disagrees: {key!r} expected {value!r} "
+                    f"got {scanned.get(key)!r}"
+                )
+    return violations, scanned
+
+
 def _check_recovery(
     fs: FaultInjectionFS,
     acked: dict[bytes, bytes],
@@ -208,7 +297,6 @@ def _check_recovery(
 ) -> list[str]:
     """Reopen the healed store and verify every invariant; returns the
     violations (empty = this crash point recovers perfectly)."""
-    violations: list[str] = []
     if options is None:
         options = harness_options()
     try:
@@ -217,56 +305,7 @@ def _check_recovery(
         return [f"reopen failed: {type(exc).__name__}: {exc}"]
 
     try:
-        new_state = _expected_after(acked, pending) if pending else acked
-        touched = set(_touched_keys(pending))
-
-        # 1. acked-durable writes survive (keys the pending op touches are
-        #    judged by the atomicity rule instead).
-        for key, value in acked.items():
-            if key in touched:
-                continue
-            got = db.get(key)
-            if got != value:
-                violations.append(
-                    f"acked write lost: {key!r} expected {value!r} got {got!r}"
-                )
-        for key in touched:
-            old, new = acked.get(key), new_state.get(key)
-            got = db.get(key)
-            if got != old and got != new:
-                violations.append(
-                    f"half-visible write: {key!r} is {got!r}, "
-                    f"expected old {old!r} or new {new!r}"
-                )
-
-        # 2. the pending op is all-or-nothing across its keys.
-        decisive = [
-            key for key in touched if acked.get(key) != new_state.get(key)
-        ]
-        if decisive:
-            sides = {
-                db.get(key) == new_state.get(key) for key in decisive
-            }
-            if len(sides) > 1:
-                violations.append(
-                    f"pending op split: keys {decisive!r} mix old and new state"
-                )
-
-        # 3. a full scan is structurally clean and agrees with point reads.
-        try:
-            scanned = dict(db.scan())
-        except BaseException as exc:  # noqa: BLE001
-            violations.append(f"scan failed: {type(exc).__name__}: {exc}")
-            scanned = None
-        if scanned is not None:
-            for key, value in acked.items():
-                if key in touched:
-                    continue
-                if scanned.get(key) != value:
-                    violations.append(
-                        f"scan disagrees: {key!r} expected {value!r} "
-                        f"got {scanned.get(key)!r}"
-                    )
+        violations, scanned = _state_violations(db, acked, pending)
 
         # 4. repair_store on a copy converges to the same contents.
         if repair and scanned is not None:
@@ -396,6 +435,259 @@ def run_crash_test(
     return report
 
 
+# ------------------------------------------------------------ sharded mode
+
+
+class MachineCrashClock:
+    """One simulated machine's global sync-barrier counter.
+
+    A :class:`ShardedDB` spans many filesystems — one per shard plus the
+    router catalog — but a power cut takes them all down at the same
+    instant.  Every member :class:`SharedClockFaultFS` counts its sync
+    barriers here, so ``crash_at_sync`` indexes one global schedule, and
+    when it fires every member crashes together (machine-crash
+    semantics, not a single-disk failure)."""
+
+    def __init__(self, *, crash_at_sync: int | None = None):
+        self.crash_at_sync = crash_at_sync
+        self.count = 0
+        self.fired = False
+        self.members: list[FaultInjectionFS] = []
+        self.lock = threading.Lock()
+
+    def register(self, fs: FaultInjectionFS) -> None:
+        with self.lock:
+            self.members.append(fs)
+
+    def tick(self) -> bool:
+        """Advance the global barrier counter; True exactly once, at the
+        scheduled crash barrier."""
+        with self.lock:
+            index = self.count
+            self.count += 1
+            if (
+                self.crash_at_sync is not None
+                and index == self.crash_at_sync
+                and not self.fired
+            ):
+                self.fired = True
+                return True
+            return False
+
+    def crash_all(self) -> None:
+        for fs in self.members:
+            fs.crash()
+
+    def heal_all(self) -> None:
+        """Disarm the schedule and heal every member for the recovery run
+        (late-registered members — shards opened during recovery — join
+        an already-disarmed clock)."""
+        self.crash_at_sync = None
+        for fs in self.members:
+            fs.heal()
+
+
+class SharedClockFaultFS(FaultInjectionFS):
+    """A :class:`FaultInjectionFS` whose crash schedule lives on a shared
+    :class:`MachineCrashClock` instead of its own policy.  At the
+    scheduled global barrier the *whole machine* crashes — this FS and
+    every sibling — before the barrier lands, then the sync raises."""
+
+    def __init__(
+        self,
+        inner: FileSystem,
+        clock: MachineCrashClock,
+        policy: FaultPolicy | None = None,
+    ):
+        super().__init__(inner, policy or FaultPolicy())
+        self._clock = clock
+        clock.register(self)
+
+    def sync_file(self, name: str) -> None:
+        if self._clock.tick():
+            self._clock.crash_all()
+            raise SimulatedCrashError(
+                f"simulated machine crash at global sync point "
+                f"{self._clock.count - 1}"
+            )
+        super().sync_file(name)
+
+
+def build_sharded_workload(
+    num_ops: int, seed: int, keyspace: int = 32
+) -> list[tuple]:
+    """The single-engine workload interleaved with router edits.
+
+    A shard split lands every 16 KV ops and a merge every 24 (offset so
+    they alternate), so the crash schedule's barriers fall inside the
+    split's child entry-copy, the router snapshot commit, and the source
+    shard teardown — the windows the split/merge protocol orders sync
+    barriers around — as well as the ordinary WAL/flush/manifest ones.
+    The operand is a raw draw; it picks a live shard index modulo the
+    shard count at apply time."""
+    rng = random.Random(seed ^ 0x51A2DED)
+    ops = build_workload(num_ops, seed, keyspace)
+    out: list[tuple] = []
+    for i, op in enumerate(ops, start=1):
+        out.append(op)
+        if i % 16 == 0:
+            out.append(("split", rng.randrange(1 << 16)))
+        elif i % 24 == 12:
+            out.append(("merge", rng.randrange(1 << 16)))
+    return out
+
+
+def _apply_sharded_op(db: ShardedDB, op: tuple) -> None:
+    if op[0] == "split":
+        # Median split; a shard with <2 distinct keys declines (None).
+        db.split_shard(op[1] % db.num_shards)
+    elif op[0] == "merge":
+        if db.num_shards > 1:
+            db.merge_shards(op[1] % (db.num_shards - 1))
+    else:
+        _apply_op(db, op)
+
+
+def _quiet_sharded_shutdown(db: ShardedDB) -> None:
+    """Best-effort worker teardown for a crashed ShardedDB (the closing
+    flush would just raise ``SimulatedCrashError`` again)."""
+    for shard_db in list(db._dbs.values()):
+        _quiet_shutdown(shard_db)
+    for pool in (db._executor, db._offload_pool):
+        if pool is not None:
+            try:
+                pool.close()
+            except BaseException:  # noqa: BLE001 - best-effort cleanup
+                pass
+
+
+def _sharded_store(clock: MachineCrashClock, seed: int) -> MemoryShardStore:
+    """A shard store whose every filesystem — shards and the ``_router``
+    catalog alike — is a member of ``clock``'s machine."""
+    return MemoryShardStore(
+        fs_factory=lambda _name: SharedClockFaultFS(
+            SimulatedFS(), clock, FaultPolicy(seed=seed)
+        )
+    )
+
+
+def _run_sharded_workload(
+    store: MemoryShardStore,
+    ops: list[tuple],
+    options: Options,
+    *,
+    shards: int,
+    boundaries: list[bytes],
+) -> tuple[dict[bytes, bytes], tuple | None]:
+    """Sharded twin of :func:`_run_workload`: run until completion or the
+    machine crash, returning ``(acked_state, pending_op)``."""
+    acked: dict[bytes, bytes] = {}
+    try:
+        db = ShardedDB(
+            store, options, shards=shards, boundaries=list(boundaries), seed=1
+        )
+    except BaseException:  # noqa: BLE001 - crash during open
+        return acked, None
+    for op in ops:
+        try:
+            _apply_sharded_op(db, op)
+        except BaseException:  # noqa: BLE001 - crash (or its fallout)
+            _quiet_sharded_shutdown(db)
+            return acked, op
+        acked = _expected_after(acked, op)
+    try:
+        db.close()
+    except BaseException:  # noqa: BLE001 - crash during the closing flush
+        _quiet_sharded_shutdown(db)
+    return acked, None
+
+
+def _check_sharded_recovery(
+    store: MemoryShardStore,
+    acked: dict[bytes, bytes],
+    pending: tuple | None,
+    options: Options,
+    *,
+    shards: int,
+    boundaries: list[bytes],
+) -> list[str]:
+    """Reopen the healed sharded store and verify invariants 1–3 plus the
+    router's crash protocol: orphan child shards must be GC'd."""
+    try:
+        db = ShardedDB(
+            store, options, shards=shards, boundaries=list(boundaries), seed=1
+        )
+    except BaseException as exc:  # noqa: BLE001 - any failure is a violation
+        return [f"sharded reopen failed: {type(exc).__name__}: {exc}"]
+    try:
+        violations, _scanned = _state_violations(
+            db, acked, pending, atomic_group=db.router.shard_for
+        )
+        leftover = set(store.shard_names()) - set(db.shard_names())
+        if leftover:
+            violations.append(
+                f"orphan shards survived reopen GC: {sorted(leftover)!r}"
+            )
+    finally:
+        try:
+            db.close()
+        except BaseException:  # noqa: BLE001 - already reporting violations
+            pass
+    return violations
+
+
+def run_sharded_crash_test(
+    *,
+    num_ops: int = 160,
+    max_points: int = 96,
+    seed: int = 0,
+    shards: int = 2,
+    options_overrides: dict | None = None,
+) -> CrashTestReport:
+    """The crash-point sweep against a 2-shard :class:`ShardedDB`.
+
+    Same two phases as :func:`run_crash_test`, but the sync schedule is
+    the *machine-global* one (every shard FS plus the router catalog),
+    and the workload interleaves shard splits and merges so the sweep
+    crashes inside the router-edit protocol as well as the per-shard
+    write path.  Repair convergence is skipped (single-store invariant);
+    orphan-shard GC on reopen is checked in its place."""
+    ops = build_sharded_workload(num_ops, seed)
+    options = harness_options(**(options_overrides or {}))
+    # The keyspace is k0000..k0031; one boundary splits it evenly so both
+    # initial shards see traffic from the first op on.
+    boundaries = [b"k0016"]
+
+    baseline_clock = MachineCrashClock()
+    _run_sharded_workload(
+        _sharded_store(baseline_clock, seed), ops, options,
+        shards=shards, boundaries=boundaries,
+    )
+    total = baseline_clock.count
+
+    report = CrashTestReport(seed=seed, num_ops=num_ops, total_sync_points=total)
+    for point in _subsample(total, max_points):
+        clock = MachineCrashClock(crash_at_sync=point)
+        store = _sharded_store(clock, seed)
+        acked, pending = _run_sharded_workload(
+            store, ops, options, shards=shards, boundaries=boundaries
+        )
+        if not clock.fired:
+            # Deterministic schedule: every enumerated barrier must fire.
+            report.failures.append(
+                {"point": point, "violations": ["scheduled crash never fired"]}
+            )
+            continue
+        clock.heal_all()
+        violations = _check_sharded_recovery(
+            store, acked, pending, options, shards=shards, boundaries=boundaries
+        )
+        report.points_tested.append(point)
+        if violations:
+            report.failures.append({"point": point, "violations": violations})
+    return report
+
+
 # --------------------------------------------------------------------- CLI
 
 
@@ -417,6 +709,9 @@ def build_crashtest_parser():
                         help="smaller workload for CI (still >= 50 points)")
     parser.add_argument("--no-repair", action="store_true",
                         help="skip the repair-convergence check")
+    parser.add_argument("--sharded", action="store_true",
+                        help="crash-test a 2-shard ShardedDB (machine-wide "
+                        "sync clock, split/merge ops in the workload)")
     parser.add_argument("--offload", choices=["none", "thread", "process"],
                         default="none",
                         help="run every harness DB with this compaction "
@@ -446,13 +741,21 @@ def run_crashtest_cli(argv: list[str]) -> int:
     args = build_crashtest_parser().parse_args(argv)
     num_ops = 90 if args.quick else args.ops
     max_points = 56 if args.quick else args.points
-    report = run_crash_test(
-        num_ops=num_ops,
-        max_points=max_points,
-        seed=args.seed,
-        check_repair=not args.no_repair,
-        options_overrides=offload_overrides(args.offload),
-    )
+    if args.sharded:
+        report = run_sharded_crash_test(
+            num_ops=num_ops,
+            max_points=max_points,
+            seed=args.seed,
+            options_overrides=offload_overrides(args.offload),
+        )
+    else:
+        report = run_crash_test(
+            num_ops=num_ops,
+            max_points=max_points,
+            seed=args.seed,
+            check_repair=not args.no_repair,
+            options_overrides=offload_overrides(args.offload),
+        )
     print(report.summary())
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:

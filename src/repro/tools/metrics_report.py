@@ -11,16 +11,21 @@ quantity) and labels it as such.
 CLI::
 
     python -m repro.tools metrics <store-dir>
+    python -m repro.tools metrics <sharded-store-root>
     python -m repro.tools metrics --cache-report BENCH_read_scaling.json
 
-The second form renders the per-shard cache hit/miss counters a
-benchmark report captured (``benchmarks/perf/read_scaling.py``) — cache
-state is runtime-only, so it travels via the report JSON rather than the
-manifest.
+A sharded store root (a ``LocalShardStore`` directory, recognized by its
+``_router/`` catalog) is replayed shard by shard: the report aggregates
+every shard's per-level storage with a per-shard breakdown table keyed by
+the router's committed map.  The ``--cache-report`` form renders the
+per-shard cache hit/miss counters a benchmark report captured
+(``benchmarks/perf/read_scaling.py``) — cache state is runtime-only, so
+it travels via the report JSON rather than the manifest.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 from ..core.manifest import read_current, replay_manifest
@@ -159,6 +164,90 @@ def format_store_report(fs: FileSystem) -> str:
             f"MISSING live files ({len(replay.missing_files)}): "
             + ", ".join(replay.missing_files)
         )
+    return "\n".join(lines)
+
+
+def is_sharded_store(root: str) -> bool:
+    """True when ``root`` is a ``LocalShardStore`` directory (it carries
+    the router catalog in its ``_router/`` subdirectory)."""
+    from ..sharding.router import ROUTER_CURRENT
+    from ..sharding.store import ROOT_DIR
+
+    return os.path.isfile(os.path.join(root, ROOT_DIR, ROUTER_CURRENT))
+
+
+def format_sharded_store_report(root: str) -> str:
+    """Aggregate per-level metrics across every shard of a sharded store.
+
+    Loads the committed router map, replays each live shard's manifest,
+    and prints one per-shard breakdown row (key range, files, bytes,
+    garbage ratio) plus the aggregate totals — all offline, no DB open.
+    """
+    from ..sharding.router import load_router
+    from ..sharding.store import ROOT_DIR
+    from ..storage.fs import LocalFS
+
+    rmap = load_router(LocalFS(os.path.join(root, ROOT_DIR)))
+    if rmap is None:
+        raise ValueError(f"{root}: no committed router map")
+
+    rows = []
+    total_files = total_bytes = total_valid = 0
+    replays = []
+    for index, spec in enumerate(rmap.specs):
+        replay = replay_store(LocalFS(os.path.join(root, spec.name)))
+        replays.append((spec, replay))
+        version = replay.version
+        file_bytes = version.total_file_bytes()
+        valid = sum(
+            version.level_valid_bytes(level)
+            for level in range(version.num_levels)
+        )
+        lower = rmap.lower(index)
+        rows.append(
+            [
+                spec.name,
+                (lower.hex() if lower else "-inf"),
+                (spec.upper.hex() if spec.upper is not None else "+inf"),
+                version.num_files(),
+                human_bytes(file_bytes),
+                human_bytes(valid),
+                f"{(file_bytes - valid) / file_bytes:.1%}" if file_bytes else "-",
+            ]
+        )
+        total_files += version.num_files()
+        total_bytes += file_bytes
+        total_valid += valid
+    rows.append(
+        [
+            "total", "", "",
+            total_files,
+            human_bytes(total_bytes),
+            human_bytes(total_valid),
+            f"{(total_bytes - total_valid) / total_bytes:.1%}" if total_bytes else "-",
+        ]
+    )
+    table = format_table(
+        ["shard", "lower", "upper", "files", "file bytes", "valid", "garbage"],
+        rows,
+        title="Per-shard storage (from router + manifest replay)",
+    )
+
+    lines = [
+        f"router epoch {rmap.epoch}: {len(rmap.specs)} shards",
+        "",
+        table,
+        "",
+        f"aggregate space amplification: {total_bytes / total_valid:.3f}"
+        if total_valid else "aggregate space amplification: n/a (no valid bytes)",
+    ]
+    for spec, replay in replays:
+        if replay.missing_files:
+            lines.append(
+                f"{spec.name}: MISSING live files "
+                f"({len(replay.missing_files)}): "
+                + ", ".join(replay.missing_files)
+            )
     return "\n".join(lines)
 
 

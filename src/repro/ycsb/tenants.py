@@ -1,0 +1,248 @@
+"""Multi-tenant YCSB mode (DESIGN.md §12).
+
+A *tenant* is one client with its own key prefix — ``t0003user…`` — so a
+tenant's keys form one contiguous range of the global key space.  That is
+exactly the shape range sharding exploits: aligning shard boundaries to
+tenant prefixes (:func:`tenant_boundaries`) gives each shard a disjoint
+set of tenants, so concurrent tenants never contend on one WAL.
+
+Each tenant gets its own request distribution over its own key space, with
+an independently *rotated* Zipf hotspot: plain (unscrambled) Zipfian
+favors low ordinals, and adding a per-tenant offset modulo the key count
+moves that hot range to a tenant-specific region.  ``hotspot_shift_at``
+relocates every tenant's hotspot mid-run — the access pattern a static
+partitioning cannot follow, and what the sharding benchmark's
+split/rebalance scenario exercises.
+
+:func:`run_multi_tenant` drives one thread per tenant against anything
+with the put/get/scan surface (a plain ``DB`` or a
+:class:`~repro.sharding.sharded_db.ShardedDB`), so aggregate wall-clock
+throughput measures how well the engine turns tenant parallelism into
+shard parallelism.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+
+from .workloads import DEFAULT_KEY_SIZE, WorkloadSpec, make_value
+from .zipfian import ZipfianGenerator
+
+#: Width of the tenant prefix (``t`` + zero-padded tenant id).
+TENANT_PREFIX_WIDTH = 5
+
+
+def tenant_prefix(tenant: int) -> bytes:
+    """The key prefix owned by ``tenant`` (sorts by tenant id)."""
+    if not 0 <= tenant <= 9999:
+        raise ValueError(f"tenant {tenant} out of range")
+    return b"t%04d" % tenant
+
+
+def make_tenant_key(
+    tenant: int, ordinal: int, key_size: int = DEFAULT_KEY_SIZE
+) -> bytes:
+    """Fixed-width key ``t{tenant:04d}user{ordinal:015d}`` padded to
+    ``key_size`` — a tenant's keys are one contiguous range."""
+    body = tenant_prefix(tenant) + b"user%015d" % ordinal
+    if len(body) > key_size:
+        raise ValueError(f"key_size {key_size} too small")
+    return body.ljust(key_size, b"k")
+
+
+def tenant_boundaries(num_tenants: int, num_shards: int) -> list[bytes]:
+    """Shard boundaries aligned to tenant prefixes.
+
+    Returns the ``num_shards - 1`` exclusive upper bounds that deal
+    tenants round-robin-evenly across shards: shard ``j`` owns tenants
+    ``[num_tenants*j//num_shards, num_tenants*(j+1)//num_shards)``.  The
+    bare prefix sorts before every key of its tenant, so using it as an
+    exclusive upper bound puts that tenant entirely in the next shard.
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+    if num_tenants < num_shards:
+        raise ValueError("need at least one tenant per shard")
+    return [
+        tenant_prefix((num_tenants * j) // num_shards)
+        for j in range(1, num_shards)
+    ]
+
+
+class HotspotChooser:
+    """Per-tenant key chooser with a movable Zipf hotspot.
+
+    Plain (unscrambled) Zipfian concentrates mass on low ordinals; the
+    chooser rotates those by ``offset`` modulo the key count, so the hot
+    region is a contiguous, tenant-specific stripe that :meth:`shift` can
+    relocate mid-run.  ``zipf=None`` degrades to a seeded uniform pick.
+    """
+
+    def __init__(self, num_keys: int, zipf: float | None, *, seed: int, offset: int = 0):
+        self.num_keys = num_keys
+        self.offset = offset % num_keys
+        if zipf is None:
+            self._zipf = None
+            self._rng = random.Random(seed)
+        else:
+            self._zipf = ZipfianGenerator(num_keys, zipf, seed=seed)
+
+    def next(self) -> int:
+        if self._zipf is None:
+            return self._rng.randrange(self.num_keys)
+        return (self._zipf.next() + self.offset) % self.num_keys
+
+    def shift(self, delta: int) -> None:
+        """Move the hotspot by ``delta`` ordinals (wraps around)."""
+        self.offset = (self.offset + delta) % self.num_keys
+
+
+@dataclass
+class TenantResult:
+    """One tenant thread's tallies."""
+
+    tenant: int
+    ops: int = 0
+    reads: int = 0
+    reads_found: int = 0
+    writes: int = 0
+    scans: int = 0
+    scan_entries: int = 0
+
+
+@dataclass
+class MultiTenantResult:
+    """Aggregate outcome of one multi-tenant run."""
+
+    name: str
+    ops: int = 0
+    wall_time_s: float = 0.0
+    tenants: list[TenantResult] = field(default_factory=list)
+
+    @property
+    def ops_per_wall_sec(self) -> float:
+        return self.ops / self.wall_time_s if self.wall_time_s > 0 else 0.0
+
+
+def load_multi_tenant(
+    db,
+    *,
+    num_tenants: int,
+    keys_per_tenant: int,
+    value_size: int = 100,
+) -> int:
+    """Sequentially pre-load every tenant's key space; returns keys written."""
+    for tenant in range(num_tenants):
+        for ordinal in range(keys_per_tenant):
+            db.put(
+                make_tenant_key(tenant, ordinal),
+                make_value(ordinal, 0, value_size),
+            )
+    return num_tenants * keys_per_tenant
+
+
+def run_multi_tenant(
+    db,
+    spec: WorkloadSpec,
+    *,
+    num_tenants: int,
+    ops_per_tenant: int,
+    keys_per_tenant: int,
+    value_size: int = 100,
+    seed: int = 1,
+    hotspot_shift_at: float | None = None,
+    hotspot_shift_delta: int | None = None,
+) -> MultiTenantResult:
+    """One thread per tenant, each driving ``spec`` over its own prefix.
+
+    Tenant ``t`` starts with its Zipf hotspot rotated to a distinct stripe
+    (``t * keys_per_tenant // num_tenants``), so the tenants' hot keys are
+    spread across the key space even though each distribution is skewed.
+    When ``hotspot_shift_at`` is set (a fraction of ``ops_per_tenant``),
+    every tenant shifts its hotspot by ``hotspot_shift_delta`` (default:
+    half the tenant key space) after that many requests — the mid-run
+    access-pattern change the rebalancer has to follow.
+
+    Inserted keys are strided per thread *within the tenant's own space*
+    (ordinals ``keys_per_tenant, keys_per_tenant+1, …``), so tenants never
+    collide and the router's range invariant holds throughout.
+    """
+    if num_tenants < 1:
+        raise ValueError("num_tenants must be >= 1")
+    result = MultiTenantResult(spec.name)
+    tallies = [TenantResult(t) for t in range(num_tenants)]
+    shift_after = (
+        int(ops_per_tenant * hotspot_shift_at)
+        if hotspot_shift_at is not None
+        else None
+    )
+    delta = (
+        hotspot_shift_delta
+        if hotspot_shift_delta is not None
+        else keys_per_tenant // 2
+    )
+    errors: list[BaseException] = []
+    errors_lock = threading.Lock()
+
+    def tenant_client(tenant: int) -> None:
+        """One tenant's request loop (own rng/chooser, tallies local)."""
+        rng = random.Random(seed + tenant * 7919)
+        chooser = HotspotChooser(
+            keys_per_tenant,
+            spec.zipf,
+            seed=seed + 1 + tenant * 104729,
+            offset=(tenant * keys_per_tenant) // num_tenants,
+        )
+        next_insert = keys_per_tenant
+        generation = 1 + seed
+        tally = tallies[tenant]
+        try:
+            for done in range(ops_per_tenant):
+                if shift_after is not None and done == shift_after:
+                    chooser.shift(delta)
+                dice = rng.random()
+                if dice < spec.read_ratio:
+                    key = make_tenant_key(tenant, chooser.next())
+                    tally.reads += 1
+                    if db.get(key) is not None:
+                        tally.reads_found += 1
+                elif dice < spec.read_ratio + spec.scan_ratio:
+                    start = make_tenant_key(tenant, chooser.next())
+                    length = rng.randint(spec.scan_min_len, spec.scan_max_len)
+                    rows = db.scan(start, limit=length)
+                    tally.scans += 1
+                    tally.scan_entries += len(rows)
+                else:
+                    if spec.write_mode == "insert":
+                        ordinal = next_insert
+                        next_insert += 1
+                    else:
+                        ordinal = chooser.next()
+                    db.put(
+                        make_tenant_key(tenant, ordinal),
+                        make_value(ordinal, generation, value_size),
+                    )
+                    tally.writes += 1
+                tally.ops += 1
+        except BaseException as exc:  # noqa: BLE001 - surfaced to the caller
+            with errors_lock:
+                errors.append(exc)
+
+    workers = [
+        threading.Thread(target=tenant_client, args=(t,), name=f"tenant-{t}")
+        for t in range(num_tenants)
+    ]
+    start = time.perf_counter()
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+    result.wall_time_s = time.perf_counter() - start
+    if errors:
+        raise errors[0]
+    result.tenants = tallies
+    result.ops = sum(t.ops for t in tallies)
+    return result

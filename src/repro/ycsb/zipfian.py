@@ -56,7 +56,13 @@ class ZipfianGenerator:
         self._zetan = self._zeta(n, theta)
         self._zeta2 = self._zeta(2, theta)
         self._alpha = 1.0 / (1.0 - theta)
-        self._eta = (1 - (2.0 / n) ** (1 - theta)) / (1 - self._zeta2 / self._zetan)
+        # With n <= 2 the two fast branches of next() cover the whole
+        # unit interval (u * zetan < 1 + 0.5**theta always), so eta is
+        # never used — and its formula would divide by zero at n == 2.
+        denominator = 1 - self._zeta2 / self._zetan
+        self._eta = (
+            (1 - (2.0 / n) ** (1 - theta)) / denominator if denominator else 0.0
+        )
 
     @staticmethod
     def _zeta(n: int, theta: float) -> float:

@@ -1,0 +1,192 @@
+"""Async serving front end tests (DESIGN.md §12).
+
+Protocol codecs round-trip every frame shape; the end-to-end tests start
+a real :class:`ShardServer` on an ephemeral port over a 2-shard
+:class:`ShardedDB` and drive it through :class:`ServeClient`, including
+pipelined concurrent requests and the error paths (unknown opcode,
+malformed payload, oversized frame).
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.serve import ServeClient, ServeError, ShardServer
+from repro.serve import protocol as P
+from repro.sharding import MemoryShardStore, ShardedDB
+
+from conftest import tiny_options
+
+
+# ------------------------------------------------------------- codecs
+
+
+class TestProtocol:
+    def test_frame_roundtrip(self):
+        frame = P.encode_frame(P.OP_PING, b"payload")
+        assert frame[:4] == (len(b"payload") + 1).to_bytes(4, "big")
+        code, payload = P.decode_body(frame[4:])
+        assert code == P.OP_PING and payload == b"payload"
+
+    def test_put_roundtrip(self):
+        frame = P.encode_put(b"key", b"value with \x00 bytes")
+        _, payload = P.decode_body(frame[4:])
+        assert P.decode_put(payload) == (b"key", b"value with \x00 bytes")
+
+    def test_multi_get_roundtrip(self):
+        keys = [b"a", b"", b"long" * 100]
+        frame = P.encode_multi_get(keys)
+        _, payload = P.decode_body(frame[4:])
+        assert P.decode_multi_get(payload) == keys
+
+    @pytest.mark.parametrize(
+        "start,end,limit",
+        [(None, None, None), (b"a", None, None), (None, b"z", 5),
+         (b"a", b"z", 100)],
+    )
+    def test_scan_roundtrip(self, start, end, limit):
+        frame = P.encode_scan(start, end, limit)
+        _, payload = P.decode_body(frame[4:])
+        assert P.decode_scan(payload) == (start, end, limit)
+
+    def test_batch_roundtrip(self):
+        ops = [
+            (P.BATCH_PUT, b"k1", b"v1"),
+            (P.BATCH_DELETE, b"k2", b""),
+            (P.BATCH_PUT, b"k3", b""),
+        ]
+        frame = P.encode_batch(ops)
+        _, payload = P.decode_body(frame[4:])
+        assert P.decode_batch(payload) == ops
+
+    def test_values_and_entries_roundtrip(self):
+        values = [b"v", None, b"", b"x" * 999]
+        assert P.decode_values(P.encode_values(values)) == values
+        entries = [(b"k1", b"v1"), (b"k2", b"")]
+        assert P.decode_entries(P.encode_entries(entries)) == entries
+
+    def test_oversized_frame_rejected(self):
+        with pytest.raises(P.ProtocolError):
+            P.encode_frame(P.OP_PUT, b"x" * (P.MAX_FRAME + 1))
+
+    def test_truncated_fields_raise(self):
+        with pytest.raises(P.ProtocolError):
+            P.decode_body(b"")
+        with pytest.raises(P.ProtocolError):
+            P.decode_put(b"\x00\x00\x00\x09shortkey")  # klen past end
+
+
+# --------------------------------------------------------- end to end
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def _with_server(fn):
+    """Start a server over a fresh 2-shard DB, run ``fn(client, server)``,
+    tear everything down."""
+    db = ShardedDB(MemoryShardStore(), tiny_options(), shards=2,
+                   boundaries=[b"m"])
+    server = ShardServer(db, "127.0.0.1", 0, executor_threads=4)
+    await server.start()
+    client = await ServeClient("127.0.0.1", server.port).connect()
+    try:
+        return await fn(client, server)
+    finally:
+        await client.aclose()
+        await server.aclose()
+        db.close()
+
+
+class TestShardServer:
+    def test_kv_ops_end_to_end(self):
+        async def scenario(client, _server):
+            assert await client.ping() == b"pong"
+            await client.put(b"apple", b"1")
+            await client.put(b"zebra", b"2")
+            assert await client.get(b"apple") == b"1"
+            assert await client.get(b"missing") is None
+            await client.delete(b"apple")
+            assert await client.get(b"apple") is None
+            assert await client.multi_get([b"zebra", b"nope"]) == [b"2", None]
+
+        run(_with_server(scenario))
+
+    def test_batch_and_scan_cross_shard(self):
+        async def scenario(client, _server):
+            await client.batch([
+                (P.BATCH_PUT, b"aaa", b"1"),
+                (P.BATCH_PUT, b"zzz", b"2"),
+                (P.BATCH_PUT, b"mmm", b"3"),
+                (P.BATCH_DELETE, b"mmm", b""),
+            ])
+            entries = await client.scan()
+            assert entries == [(b"aaa", b"1"), (b"zzz", b"2")]
+            assert await client.scan(start=b"m") == [(b"zzz", b"2")]
+            assert await client.scan(limit=1) == [(b"aaa", b"1")]
+
+        run(_with_server(scenario))
+
+    def test_pipelined_concurrent_clients(self):
+        async def scenario(client, server):
+            # A second connection plus in-flight pipelining on each.
+            other = await ServeClient("127.0.0.1", server.port).connect()
+            try:
+                await asyncio.gather(*[
+                    client.put(b"c1-%03d" % i, b"v%d" % i) for i in range(40)
+                ], *[
+                    other.put(b"x2-%03d" % i, b"w%d" % i) for i in range(40)
+                ])
+                got = await asyncio.gather(*[
+                    client.get(b"x2-%03d" % i) for i in range(40)
+                ])
+                assert got == [b"w%d" % i for i in range(40)]
+            finally:
+                await other.aclose()
+            stats = await client.stats()
+            assert stats["requests"]["put"] == 80
+            assert len(stats["shards"]) == 2
+
+        run(_with_server(scenario))
+
+    def test_stats_payload_shape(self):
+        async def scenario(client, _server):
+            await client.put(b"k", b"v")
+            stats = await client.stats()
+            assert stats["shards"] == ["shard-000000", "shard-000001"]
+            assert stats["engine"]["user_writes"] == 1
+            assert stats["engine"]["shards"] == 2
+            assert stats["requests"]["put"] == 1
+
+        run(_with_server(scenario))
+
+    def test_unknown_opcode_gets_error_frame_and_server_survives(self):
+        async def scenario(client, server):
+            # A protocol error earns one error frame, then the server drops
+            # the connection (framing can't be trusted past a bad frame).
+            with pytest.raises(ServeError, match="opcode"):
+                await client._request(P.encode_frame(0x7F, b""))
+            fresh = await ServeClient("127.0.0.1", server.port).connect()
+            try:
+                await fresh.put(b"k", b"v")
+                assert await fresh.get(b"k") == b"v"
+            finally:
+                await fresh.aclose()
+
+        run(_with_server(scenario))
+
+    def test_malformed_payload_gets_error_frame(self):
+        async def scenario(client, server):
+            bad_scan = P.encode_frame(P.OP_SCAN, b"")  # missing flags byte
+            with pytest.raises(ServeError):
+                await client._request(bad_scan)
+            fresh = await ServeClient("127.0.0.1", server.port).connect()
+            try:
+                assert await fresh.ping() == b"pong"
+            finally:
+                await fresh.aclose()
+
+        run(_with_server(scenario))

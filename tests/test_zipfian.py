@@ -1,0 +1,153 @@
+"""Property tests for the YCSB key-choosing distributions (satellite of
+DESIGN.md §12's multi-tenant driver, which leans on them for hotspots).
+
+Hypothesis drives the invariants every generator must hold — range
+containment, seed determinism, independence across instances — plus the
+statistical shape: a Zipfian's rank-frequency curve is monotone (item 0
+hottest), the scrambled variant spreads that mass across the key space,
+and the FNV-1a scrambler matches its published reference vectors.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.ycsb.zipfian import (  # noqa: E402
+    ScrambledZipfianGenerator,
+    UniformGenerator,
+    ZipfianGenerator,
+    fnv1a_64,
+    make_generator,
+)
+
+sizes = st.integers(min_value=1, max_value=10_000)
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+thetas = st.floats(min_value=0.05, max_value=0.99, allow_nan=False)
+
+
+# ------------------------------------------------------------------ fnv
+
+
+class TestFnv:
+    def test_reference_vectors(self):
+        # FNV-1a over 8 little-endian zero bytes: pinned value guards
+        # against accidental constant / order changes (the sharded-cache
+        # hash fix depends on this function's stability).
+        assert fnv1a_64(0) == 0xA8C7F832281A39C5
+        assert fnv1a_64(1) != fnv1a_64(1 << 8)  # byte order matters
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_is_a_function_of_the_low_64_bits(self, value):
+        assert fnv1a_64(value) == fnv1a_64(value & (2**64 - 1))
+        assert 0 <= fnv1a_64(value) < 2**64
+
+
+# ------------------------------------------------------------- generators
+
+
+@pytest.mark.parametrize("factory", [
+    lambda n, seed: UniformGenerator(n, seed),
+    lambda n, seed: ZipfianGenerator(n, 0.9, seed),
+    lambda n, seed: ScrambledZipfianGenerator(n, 0.9, seed),
+])
+class TestGeneratorProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(n=sizes, seed=seeds)
+    def test_range_containment(self, factory, n, seed):
+        gen = factory(n, seed)
+        assert all(0 <= gen.next() < n for _ in range(50))
+
+    @settings(max_examples=40, deadline=None)
+    @given(n=sizes, seed=seeds)
+    def test_seed_determinism(self, factory, n, seed):
+        a, b = factory(n, seed), factory(n, seed)
+        assert [a.next() for _ in range(50)] == [b.next() for _ in range(50)]
+
+    @settings(max_examples=20, deadline=None)
+    @given(n=st.integers(min_value=100, max_value=10_000), seed=seeds)
+    def test_instances_do_not_share_state(self, factory, n, seed):
+        a, b = factory(n, seed), factory(n, seed)
+        seq_a = [a.next() for _ in range(30)]
+        # Interleaving another instance must not perturb the stream.
+        c = factory(n, seed)
+        seq_c = []
+        for _ in range(30):
+            b.next()
+            seq_c.append(c.next())
+        assert seq_a == seq_c
+
+
+class TestValidation:
+    @given(n=st.integers(max_value=0))
+    def test_nonpositive_n_rejected(self, n):
+        with pytest.raises(ValueError):
+            UniformGenerator(n)
+        with pytest.raises(ValueError):
+            ZipfianGenerator(n, 0.9)
+
+    @given(theta=st.one_of(
+        st.floats(max_value=0.0, allow_nan=False),
+        st.floats(min_value=1.0, allow_nan=False),
+    ))
+    def test_theta_outside_unit_interval_rejected(self, theta):
+        with pytest.raises(ValueError):
+            ZipfianGenerator(100, theta)
+
+    def test_make_generator_dispatch(self):
+        assert isinstance(make_generator(10, None), UniformGenerator)
+        assert isinstance(make_generator(10, 0.9), ScrambledZipfianGenerator)
+        assert isinstance(make_generator(10, 0.99, seed=4),
+                          ScrambledZipfianGenerator)
+
+
+# ----------------------------------------------------------- distribution
+
+
+def frequencies(gen, draws: int) -> dict[int, int]:
+    counts: dict[int, int] = {}
+    for _ in range(draws):
+        v = gen.next()
+        counts[v] = counts.get(v, 0) + 1
+    return counts
+
+
+class TestDistributionShape:
+    @settings(max_examples=10, deadline=None)
+    @given(theta=st.floats(min_value=0.5, max_value=0.99), seed=seeds)
+    def test_zipfian_rank_frequency_is_front_loaded(self, theta, seed):
+        """Item 0 is the hottest and the head dominates the tail — the
+        property the hotspot driver and the paper's skewed workloads
+        depend on."""
+        n = 1000
+        counts = frequencies(ZipfianGenerator(n, theta, seed), 4000)
+        head = sum(counts.get(i, 0) for i in range(10))
+        tail = sum(counts.get(i, 0) for i in range(n - 500, n))
+        # Item 0 beats every item outside the head (strict argmax would be
+        # vulnerable to sampling ties at low theta).
+        assert counts.get(0, 0) >= max(
+            counts.get(i, 0) for i in range(10, n)
+        )
+        # Per-item mass: the 10 head items each draw far more than an
+        # average tail item (total mass can favor the 500-item tail at
+        # low theta, so compare densities, not sums).
+        assert head / 10 > 3 * (tail / 500)
+
+    def test_scrambled_spreads_the_head(self):
+        """Scrambling keeps the skew but relocates the hot items away from
+        the front of the key space."""
+        n = 1000
+        counts = frequencies(ScrambledZipfianGenerator(n, 0.9, seed=7), 4000)
+        head_mass = sum(counts.get(i, 0) for i in range(10)) / 4000
+        assert head_mass < 0.5  # plain zipfian would put ~70%+ here
+        top = max(counts, key=counts.get)
+        assert top == fnv1a_64(0) % n  # hottest item is item 0, relocated
+
+    def test_uniform_is_not_front_loaded(self):
+        n = 100
+        counts = frequencies(UniformGenerator(n, seed=3), 5000)
+        head = sum(counts.get(i, 0) for i in range(10))
+        assert 300 < head < 700  # ~500 expected
