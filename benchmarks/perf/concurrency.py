@@ -84,7 +84,9 @@ def _options(concurrent: bool):
     return options
 
 
-def _run_scenario(name: str, *, concurrent: bool, threads: int, num_ops: int) -> dict:
+def _run_scenario(
+    name: str, *, concurrent: bool, threads: int, num_ops: int, value_size: int
+) -> dict:
     """One (mode, client-thread-count) cell: write-heavy YCSB on a fresh
     real-file DB, returning aggregate wall-clock throughput."""
     from repro.core.db import DB
@@ -102,7 +104,7 @@ def _run_scenario(name: str, *, concurrent: bool, threads: int, num_ops: int) ->
         start = time.perf_counter()
         result = run_workload_concurrent(
             db, spec, num_ops, num_keys=num_ops, threads=threads,
-            value_size=100, seed=11,
+            value_size=value_size, seed=11,
         )
         elapsed = time.perf_counter() - start
         stats = db.stats
@@ -127,21 +129,28 @@ def _run_scenario(name: str, *, concurrent: bool, threads: int, num_ops: int) ->
     return entry
 
 
-def run_suite(quick: bool) -> dict:
+def run_suite(quick: bool, value_size: int = 100) -> dict:
     """All four cells; returns the JSON report."""
     num_ops = 1200 if quick else 4000
     print(f"concurrency benchmark ({'quick' if quick else 'full'} mode, "
-          f"{num_ops} ops/scenario, {THREADS} threads)")
+          f"{num_ops} ops/scenario, {THREADS} threads, "
+          f"{value_size}-byte values)")
     scenarios = {
-        "sync_1t": _run_scenario("sync_1t", concurrent=False, threads=1, num_ops=num_ops),
+        "sync_1t": _run_scenario(
+            "sync_1t", concurrent=False, threads=1, num_ops=num_ops,
+            value_size=value_size,
+        ),
         "concurrent_1t": _run_scenario(
-            "concurrent_1t", concurrent=True, threads=1, num_ops=num_ops
+            "concurrent_1t", concurrent=True, threads=1, num_ops=num_ops,
+            value_size=value_size,
         ),
         "sync_4t": _run_scenario(
-            "sync_4t", concurrent=False, threads=THREADS, num_ops=num_ops
+            "sync_4t", concurrent=False, threads=THREADS, num_ops=num_ops,
+            value_size=value_size,
         ),
         "concurrent_4t": _run_scenario(
-            "concurrent_4t", concurrent=True, threads=THREADS, num_ops=num_ops
+            "concurrent_4t", concurrent=True, threads=THREADS, num_ops=num_ops,
+            value_size=value_size,
         ),
     }
     speedup_4t = round(
@@ -159,6 +168,7 @@ def run_suite(quick: bool) -> dict:
             "quick": quick,
             "threads": THREADS,
             "ops_per_scenario": num_ops,
+            "value_size": value_size,
             "target_speedup_4t": TARGET_SPEEDUP_4T,
             "check_min_speedup_4t": CHECK_MIN_SPEEDUP_4T,
         },
@@ -173,7 +183,7 @@ def main(argv: list[str] | None = None) -> int:
     from harness import gate_speedup, perf_arg_parser, write_report
 
     args = perf_arg_parser(__doc__, BASELINE_PATH).parse_args(argv)
-    report = run_suite(args.quick)
+    report = run_suite(args.quick, value_size=args.value_size)
     if args.check:
         return gate_speedup(
             report, "speedup_4t", CHECK_MIN_SPEEDUP_4T,

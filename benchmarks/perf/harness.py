@@ -401,21 +401,21 @@ def _load_keys(db, count: int, value_size: int = 100) -> list[bytes]:
     return keys
 
 
-def bench_db_paths(suite: Suite) -> None:
+def bench_db_paths(suite: Suite, value_size: int = 100) -> None:
     """End-to-end engine paths over the simulated FS (no reference arm —
     compare these across harness runs / baselines instead)."""
     fill_count = 400 if suite.quick else 4000
 
     def seq_fill():
         db = _fresh_db()
-        _load_keys(db, fill_count)
+        _load_keys(db, fill_count, value_size)
         db.close()
         return fill_count
 
     suite.measure("seq_fill", seq_fill, "put", repeats=3)
 
     db = _fresh_db()
-    keys = _load_keys(db, fill_count)
+    keys = _load_keys(db, fill_count, value_size)
     db.compact_all()
     rng = random.Random(23)
     lookup_keys = [rng.choice(keys) for _ in range(fill_count)]
@@ -461,7 +461,7 @@ def bench_db_paths(suite: Suite) -> None:
 
     def full_compaction():
         fresh = _fresh_db(seed=3)
-        _load_keys(fresh, fill_count)
+        _load_keys(fresh, fill_count, value_size)
         start = time.perf_counter()
         fresh.compact_all()
         elapsed = time.perf_counter() - start
@@ -481,7 +481,7 @@ def bench_db_paths(suite: Suite) -> None:
     )
 
 
-def bench_observability(suite: Suite) -> None:
+def bench_observability(suite: Suite, value_size: int = 100) -> None:
     """Enabled-observability overhead on the point-get hot path.
 
     Two identical trees, one opened plain and one with tracing + latency
@@ -499,7 +499,7 @@ def bench_observability(suite: Suite) -> None:
 
     def build(options):
         db = DB(SimulatedFS(), options, seed=7)
-        keys = _load_keys(db, fill_count)
+        keys = _load_keys(db, fill_count, value_size)
         db.compact_all()
         return db, keys
 
@@ -527,7 +527,7 @@ def bench_observability(suite: Suite) -> None:
 
     # Puts through the traced arm so the latency section covers the write
     # path too (after the timed arms, so they do not perturb the ratio).
-    value = b"y" * 100
+    value = b"y" * value_size
     for i in range(min(fill_count, 1000)):
         traced_db.put(b"obs%020d" % i, value)
     suite.latency = traced_db.latency.summary()
@@ -555,6 +555,12 @@ def perf_arg_parser(doc: str, default_output: Path) -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--output", type=Path, default=default_output, help="report path"
+    )
+    parser.add_argument(
+        "--value-size", type=int, default=100, metavar="BYTES",
+        help="value payload size for the DB-level workloads (default 100); "
+        "large values shift the engine's cost from keys to value bytes — "
+        "the regime the kv-separation benchmark sweeps",
     )
     return parser
 
@@ -633,13 +639,15 @@ def main(argv: list[str] | None = None) -> int:
     args = perf_arg_parser(__doc__, BASELINE_PATH).parse_args(argv)
 
     suite = Suite(quick=args.quick)
-    print(f"hot-path perf harness ({'quick' if args.quick else 'full'} mode)")
+    print(f"hot-path perf harness ({'quick' if args.quick else 'full'} mode, "
+          f"{args.value_size}-byte values)")
     bench_varint(suite)
     bench_block_codec(suite)
     bench_merge(suite)
-    bench_db_paths(suite)
-    bench_observability(suite)
+    bench_db_paths(suite, value_size=args.value_size)
+    bench_observability(suite, value_size=args.value_size)
     report = suite.report()
+    report["meta"]["value_size"] = args.value_size
 
     if args.check:
         print()

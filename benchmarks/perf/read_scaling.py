@@ -102,7 +102,8 @@ def _key(i: int) -> bytes:
 
 
 def _run_scenario(
-    name: str, *, lock_free: bool, threads: int, num_ops: int, num_keys: int
+    name: str, *, lock_free: bool, threads: int, num_ops: int, num_keys: int,
+    value_size: int,
 ) -> dict:
     """One (mode, reader-thread-count) cell: uniform random GETs over a
     pre-loaded real-file DB, returning aggregate wall-clock throughput."""
@@ -114,7 +115,7 @@ def _run_scenario(
     with tempfile.TemporaryDirectory(prefix=f"bench-{name}-") as root:
         fs = LocalFS(root, device=_device(), realtime=0.0)
         db = DB(fs, _options(lock_free), seed=7)
-        _load(db, num_keys, value_size=100)
+        _load(db, num_keys, value_size=value_size)
 
         per_thread = [num_ops // threads] * threads
         for extra in range(num_ops % threads):
@@ -178,27 +179,31 @@ def _run_scenario(
     return entry
 
 
-def run_suite(quick: bool) -> dict:
+def run_suite(quick: bool, value_size: int = 100) -> dict:
     """The locked 1-thread baseline plus lock-free 1/2/4/8-thread cells;
     returns the JSON report."""
     num_ops = 600 if quick else 2000
     num_keys = 400 if quick else 1500
     print(
         f"read scaling benchmark ({'quick' if quick else 'full'} mode, "
-        f"{num_ops} GETs/scenario over {num_keys} keys)"
+        f"{num_ops} GETs/scenario over {num_keys} keys, "
+        f"{value_size}-byte values)"
     )
     scenarios = {
         "locked_1t": _run_scenario(
-            "locked_1t", lock_free=False, threads=1, num_ops=num_ops, num_keys=num_keys
+            "locked_1t", lock_free=False, threads=1, num_ops=num_ops,
+            num_keys=num_keys, value_size=value_size,
         ),
         "locked_4t": _run_scenario(
-            "locked_4t", lock_free=False, threads=4, num_ops=num_ops, num_keys=num_keys
+            "locked_4t", lock_free=False, threads=4, num_ops=num_ops,
+            num_keys=num_keys, value_size=value_size,
         ),
     }
     for threads in THREAD_COUNTS:
         name = f"lockfree_{threads}t"
         scenarios[name] = _run_scenario(
-            name, lock_free=True, threads=threads, num_ops=num_ops, num_keys=num_keys
+            name, lock_free=True, threads=threads, num_ops=num_ops,
+            num_keys=num_keys, value_size=value_size,
         )
     baseline = scenarios["locked_1t"]["ops_per_sec"]
     speedups = {
@@ -218,6 +223,7 @@ def run_suite(quick: bool) -> dict:
             "thread_counts": list(THREAD_COUNTS),
             "ops_per_scenario": num_ops,
             "num_keys": num_keys,
+            "value_size": value_size,
             "target_speedup_4t": TARGET_SPEEDUP_4T,
             "check_min_speedup_4t": CHECK_MIN_SPEEDUP_4T,
         },
@@ -231,7 +237,7 @@ def main(argv: list[str] | None = None) -> int:
     from harness import gate_speedup, perf_arg_parser, write_report
 
     args = perf_arg_parser(__doc__, BASELINE_PATH).parse_args(argv)
-    report = run_suite(args.quick)
+    report = run_suite(args.quick, value_size=args.value_size)
     floor = CHECK_MIN_SPEEDUP_4T if args.quick else TARGET_SPEEDUP_4T
     if args.check:
         return gate_speedup(

@@ -93,7 +93,7 @@ def _options():
     )
 
 
-def _run_scenario(name: str, *, shards: int, num_ops: int) -> dict:
+def _run_scenario(name: str, *, shards: int, num_ops: int, value_size: int) -> dict:
     """One shard-count cell: 8 tenant threads, write-heavy insert mix,
     tenant-aligned boundaries, one real-file store per shard."""
     from repro.sharding import LocalShardStore, ShardedDB
@@ -121,7 +121,7 @@ def _run_scenario(name: str, *, shards: int, num_ops: int) -> dict:
             num_tenants=TENANTS,
             ops_per_tenant=ops_per_tenant,
             keys_per_tenant=ops_per_tenant,
-            value_size=100,
+            value_size=value_size,
             seed=11,
         )
         db.wait_for_background(timeout=300)
@@ -206,18 +206,21 @@ def _run_hotspot_scenario(num_ops: int) -> dict:
     return entry
 
 
-def run_suite(quick: bool) -> dict:
+def run_suite(quick: bool, value_size: int = 100) -> dict:
     """The 1/2/4-shard cells plus the hotspot rebalance cell; returns the
     JSON report."""
     num_ops = 1200 if quick else 4000
     print(
         f"sharding benchmark ({'quick' if quick else 'full'} mode, "
-        f"{num_ops} ops/scenario, {TENANTS} tenant threads)"
+        f"{num_ops} ops/scenario, {TENANTS} tenant threads, "
+        f"{value_size}-byte values)"
     )
     scenarios = {}
     for shards in SHARD_COUNTS:
         name = f"sharded_{shards}s"
-        scenarios[name] = _run_scenario(name, shards=shards, num_ops=num_ops)
+        scenarios[name] = _run_scenario(
+            name, shards=shards, num_ops=num_ops, value_size=value_size
+        )
     baseline = scenarios["sharded_1s"]["ops_per_sec"]
     speedups = {
         f"speedup_{shards}s": round(
@@ -237,6 +240,7 @@ def run_suite(quick: bool) -> dict:
             "shard_counts": list(SHARD_COUNTS),
             "tenants": TENANTS,
             "ops_per_scenario": num_ops,
+            "value_size": value_size,
             "target_speedup_4s": TARGET_SPEEDUP_4S,
             "check_min_speedup_4s": CHECK_MIN_SPEEDUP_4S,
         },
@@ -251,7 +255,7 @@ def main(argv: list[str] | None = None) -> int:
     from harness import gate_speedup, perf_arg_parser, write_report
 
     args = perf_arg_parser(__doc__, BASELINE_PATH).parse_args(argv)
-    report = run_suite(args.quick)
+    report = run_suite(args.quick, value_size=args.value_size)
     floor = CHECK_MIN_SPEEDUP_4S if args.quick else TARGET_SPEEDUP_4S
     if args.check:
         status = gate_speedup(

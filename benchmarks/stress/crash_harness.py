@@ -20,6 +20,8 @@ import sys
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "..", "src"))
 
 from repro.tools.crashtest import (  # noqa: E402
+    KV_SEPARATION_VALUE_SIZE,
+    kv_separation_overrides,
     offload_overrides,
     run_crash_test,
     run_sharded_crash_test,
@@ -44,9 +46,23 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--sharded", action="store_true",
                         help="crash-test the 2-shard ShardedDB (machine-wide "
                         "sync clock, split/merge ops in the workload)")
+    parser.add_argument("--kv-separation", action="store_true",
+                        help="crash-test with key-value separation on "
+                        "(padded values + tiny vlog geometry so GC fires "
+                        "inside the crash schedule)")
     args = parser.parse_args(argv)
-    if args.sharded and args.report == REPORT:
-        args.report = REPORT.replace(".json", "_sharded.json")
+    if args.report == REPORT:
+        suffix = ("_sharded" if args.sharded else "") + (
+            "_kv" if args.kv_separation else ""
+        )
+        if suffix:
+            args.report = REPORT.replace(".json", f"{suffix}.json")
+
+    overrides = offload_overrides(args.offload)
+    value_size = 0
+    if args.kv_separation:
+        overrides.update(kv_separation_overrides())
+        value_size = KV_SEPARATION_VALUE_SIZE
 
     config = QUICK if args.quick else FULL
     runs = []
@@ -56,13 +72,15 @@ def main(argv: list[str] | None = None) -> int:
             report = run_sharded_crash_test(
                 num_ops=config["num_ops"], max_points=config["max_points"],
                 seed=seed,
-                options_overrides=offload_overrides(args.offload),
+                options_overrides=overrides,
+                value_size=value_size,
             )
         else:
             report = run_crash_test(
                 num_ops=config["num_ops"], max_points=config["max_points"],
                 seed=seed,
-                options_overrides=offload_overrides(args.offload),
+                options_overrides=overrides,
+                value_size=value_size,
             )
         print(report.summary())
         runs.append(report.to_dict())
@@ -72,6 +90,7 @@ def main(argv: list[str] | None = None) -> int:
         "mode": "quick" if args.quick else "full",
         "offload": args.offload,
         "sharded": args.sharded,
+        "kv_separation": args.kv_separation,
         "total_points_tested": sum(len(r["points_tested"]) for r in runs),
         "passed": not failed,
         "runs": runs,

@@ -115,9 +115,18 @@ def make_tombstone_dropper(
     return check
 
 
+def drop_observer(env: CompactionEnv) -> Callable[[bytes], None] | None:
+    """The value-log dead-byte observation hook for ``env``, when the
+    engine carries a vlog manager (DESIGN.md §13).  None — the common,
+    non-separated case — leaves the merge loops' fast paths untouched."""
+    vlog = getattr(env, "vlog", None)
+    return vlog.observe_drop if vlog is not None else None
+
+
 def merge_keep_newest(
     sources: list[Iterator[tuple[ComparableKey, bytes]]],
     boundaries: list[int] | None = None,
+    on_drop: Callable[[bytes], None] | None = None,
 ) -> Iterator[tuple[ComparableKey, bytes]]:
     """Merge sorted streams keeping the newest version per user key — per
     snapshot stratum, tombstones included.
@@ -126,6 +135,9 @@ def merge_keep_newest(
     must survive this stage because they may shadow entries living in the
     child SSTable's data blocks (dropping them early would resurrect those
     values).
+
+    ``on_drop`` (when given) observes each dropped entry's stored value —
+    the value-log garbage ledger's hook (DESIGN.md §13).
 
     With no live snapshots (``boundaries`` empty — the overwhelmingly common
     case) retention degenerates to "newest version per user key", which
@@ -139,6 +151,8 @@ def merge_keep_newest(
             if user_key != last_user_key:
                 last_user_key = user_key
                 yield entry
+            elif on_drop is not None:
+                on_drop(entry[1])
         return
     keeper = VersionKeeper(boundaries)
     new_key = keeper.new_key
@@ -151,12 +165,15 @@ def merge_keep_newest(
             last_user_key = user_key
         if keep((invert - inv) >> 8):
             yield entry
+        elif on_drop is not None:
+            on_drop(entry[1])
 
 
 def merge_live(
     sources: list[Iterator[tuple[ComparableKey, bytes]]],
     can_drop_tombstone: Callable[[bytes], bool],
     boundaries: list[int] | None = None,
+    on_drop: Callable[[bytes], None] | None = None,
 ) -> Iterator[tuple[bytes, bytes, bool]]:
     """Merge sorted streams keeping, per user key, the newest version of
     every snapshot stratum (see :class:`~repro.core.snapshot.VersionKeeper`).
@@ -180,6 +197,8 @@ def merge_live(
         for comparable, value in merge_entries(sources):
             user_key, inv = comparable
             if user_key == last_user_key:
+                if on_drop is not None:
+                    on_drop(value)
                 continue  # an older, shadowed version
             last_user_key = user_key
             if inv & 0xFF == 0xFF:  # TYPE_DELETION
@@ -199,6 +218,8 @@ def merge_live(
             last_user_key = user_key
         sequence = (invert - inv) >> 8
         if not keep(sequence):
+            if on_drop is not None:
+                on_drop(value)
             continue  # shadowed within its stratum
         if inv & 0xFF == 0xFF:  # TYPE_DELETION
             if keeper.tombstone_unprotected(sequence) and can_drop_tombstone(user_key):

@@ -41,6 +41,7 @@ from .base import (
     CompactionEnv,
     CompactionResult,
     CompactionTask,
+    drop_observer,
     make_tombstone_dropper,
     merge_keep_newest,
     table_entry_stream,
@@ -107,6 +108,7 @@ def _update_block(
     block_entries: Iterator[tuple[ComparableKey, bytes]],
     can_drop_tombstone: Callable[[bytes], bool],
     boundaries: list[int],
+    on_drop: Callable[[bytes], None] | None = None,
 ) -> None:
     """Algorithm 2: merge-sort parent keys into one dirty block's entries.
 
@@ -123,6 +125,8 @@ def _update_block(
         for comparable, value in merged:
             user_key, inv = comparable
             if user_key == last_user_key:
+                if on_drop is not None:
+                    on_drop(value)
                 continue
             last_user_key = user_key
             if inv & 0xFF == 0xFF and can_drop_tombstone(user_key):
@@ -137,6 +141,8 @@ def _update_block(
             last_user_key = user_key
         sequence = (_INVERT - inv) >> 8
         if not keeper.keep(sequence):
+            if on_drop is not None:
+                on_drop(value)
             continue
         if (
             inv & 0xFF == 0xFF  # TYPE_DELETION
@@ -194,6 +200,7 @@ def block_compact_file(
     stats = BlockCompactionFileStats(dirty_blocks=len(scan.dirty_entries))
     boundaries = env.snapshot_boundaries()
     gap_keeper = VersionKeeper(boundaries)
+    on_drop = drop_observer(env)
 
     def emit_parent(comparable: ComparableKey, value: bytes) -> None:
         """Write one gap entry (a parent key covered by no block).
@@ -227,6 +234,7 @@ def block_compact_file(
                 dirty_blocks[entry.offset].entries(),
                 can_drop,
                 boundaries,
+                on_drop,
             )
             i = j
         else:
@@ -311,7 +319,11 @@ def collect_parent_entries(env: CompactionEnv, task: CompactionTask) -> list[Par
     """Materialize the parent files' newest-version entry list (tombstones
     preserved — see :func:`merge_keep_newest`)."""
     sources = [table_entry_stream(env, f) for f in task.parent_files]
-    return list(merge_keep_newest(sources, env.snapshot_boundaries()))
+    return list(
+        merge_keep_newest(
+            sources, env.snapshot_boundaries(), on_drop=drop_observer(env)
+        )
+    )
 
 
 def run_block_compaction(env: CompactionEnv, task: CompactionTask) -> CompactionResult:

@@ -30,6 +30,7 @@ from .base import (
     CompactionEnv,
     CompactionResult,
     CompactionTask,
+    drop_observer,
     make_tombstone_dropper,
     merge_live,
     table_entry_stream,
@@ -114,6 +115,7 @@ def _table_rewrite_subtask(
         [iter(parent_slice), table_entry_stream(env, child_meta)],
         dropper,
         env.snapshot_boundaries(),
+        on_drop=drop_observer(env),
     )
     outputs = build_output_tables(env, stream, child_level)
     with result.apply_lock:

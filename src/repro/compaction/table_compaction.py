@@ -19,6 +19,7 @@ from .base import (
     CompactionEnv,
     CompactionResult,
     CompactionTask,
+    drop_observer,
     make_tombstone_dropper,
     merge_live,
     table_entry_stream,
@@ -102,7 +103,9 @@ def merged_task_stream(
     sources = list(parent_sources) + [table_entry_stream(env, f) for f in child_files]
     lo, hi = task.key_range()
     dropper = make_tombstone_dropper(env, task.child_level, lo, hi)
-    return merge_live(sources, dropper, env.snapshot_boundaries())
+    return merge_live(
+        sources, dropper, env.snapshot_boundaries(), on_drop=drop_observer(env)
+    )
 
 
 def run_table_compaction(env: CompactionEnv, task: CompactionTask) -> CompactionResult:

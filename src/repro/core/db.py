@@ -54,7 +54,7 @@ from ..errors import (
     InvalidArgumentError,
     NotFoundError,
 )
-from ..keys import ComparableKey, seek_comparable
+from ..keys import ComparableKey, TYPE_VALUE, seek_comparable
 from ..memtable.memtable import MemTable
 from ..memtable.wal import WalRecoveryStats, WalWriter, read_wal_tolerant
 from ..metrics.stats import CompactionEvent, DBStats
@@ -68,6 +68,14 @@ from ..options import (
 )
 from ..storage.fs import FileSystem, SimulatedFS
 from ..storage.io_stats import CAT_COMPACTION, CAT_FLUSH, CAT_GET, CAT_SCAN
+from ..vlog import (
+    VlogManager,
+    encode_pointer,
+    parse_vlog_file_name,
+    salvage_scan,
+    vlog_file_name,
+    wrap_inline,
+)
 from .flush import flush_memtable
 from .iterator import DBIterator, EntryStream
 from .scheduler import BackgroundScheduler, ErrorHandler
@@ -191,6 +199,18 @@ class DB:
         self.deletion_manager = DeletionManager(
             self.fs, self.options, self.table_cache, self.block_cache, self.stats
         )
+        # Key-value separation (DESIGN.md §13): None — the default — means
+        # values live inline in the LSM exactly as before; compaction's
+        # drop_observer() and every read-path resolve site key off this
+        # attribute, so the non-separated engine stays bit-identical.
+        self.vlog: VlogManager | None = (
+            VlogManager(self.fs, self.options, self.stats)
+            if self.options.kv_separation
+            else None
+        )
+        #: Re-entrancy guard: a GC re-put can fill the memtable, whose flush
+        #: runs compactions, whose completion would otherwise start GC again.
+        self._vlog_gc_running = False
         self.version = Version(self.options.max_levels)
         self.snapshots = SnapshotRegistry()
         # One coarse engine lock: concurrent readers and a writer may share
@@ -374,6 +394,9 @@ class DB:
                             sequence += 1
                         self._sequence = max(self._sequence, sequence - 1)
 
+        if self.vlog is not None:
+            self._recover_vlog()
+
         # Entries replayed from the old WAL go straight to an L0 table (as
         # LevelDB does during recovery) so the old log can be dropped and a
         # fresh one opened.
@@ -381,9 +404,19 @@ class DB:
         if len(self._memtable):
             self._memtable.freeze()
             recovered_file = flush_memtable(
-                self.fs, self.options, self._memtable, self.new_file_number()
+                self.fs,
+                self.options,
+                self._memtable,
+                self.new_file_number(),
+                on_drop=self.vlog.observe_drop if self.vlog is not None else None,
             )
             self._memtable = self._new_memtable()
+        # Dead bytes the recovery flush observed (shadowed replayed entries)
+        # fold into the ledger before the snapshot below re-emits it.
+        if self.vlog is not None:
+            for number, delta in self.vlog.take_pending_dead():
+                if number in self.version.vlog:
+                    self.version.vlog[number] += delta
 
         # Start a fresh manifest snapshotting the recovered state.
         manifest_number = self.new_file_number()
@@ -405,12 +438,52 @@ class DB:
         if recovered_file is not None:
             self.version.apply(VersionEdit(new_files=[(0, recovered_file)]))
             snapshot.new_files.append((0, recovered_file))
+        # Re-emit the value-log catalog (registrations + garbage ledger)
+        # into the fresh manifest — kept even with separation off, so a
+        # store's vlog state survives an interim non-separated open.
+        if self.version.vlog:
+            snapshot.new_vlog_files = sorted(self.version.vlog)
+            snapshot.vlog_dead = [
+                (number, dead)
+                for number, dead in sorted(self.version.vlog.items())
+                if dead
+            ]
         snapshot.next_file_number = self._next_file_number
         self._manifest.log_edit(snapshot)
         set_current(self.fs, manifest_number)
         for old_log in old_logs:
             if self.fs.exists(old_log):
                 self.fs.delete_file(old_log)
+
+    def _recover_vlog(self) -> None:
+        """Value-log recovery (DESIGN.md §13).
+
+        A head registration edit is journaled (and synced) BEFORE any
+        pointer into that file can reach the WAL, so an on-disk VLOG file
+        absent from the replayed manifest has no durable pointer referencing
+        it — this one rule covers both a crash between create and register
+        and a GC victim journaled deleted but not yet unlinked; such files
+        are deleted here.  Registered files may carry a torn tail (an
+        append whose pointers never reached the WAL): truncate back to the
+        last intact frame.  A fresh head always opens — sealed files never
+        grow again, keeping every durable pointer's (file, offset) stable.
+        """
+        for name in self.fs.list_dir():
+            number = parse_vlog_file_name(name)
+            if number is None:
+                continue
+            if number not in self.version.vlog:
+                self.fs.delete_file(name)
+                continue
+            size = self.fs.file_size(name)
+            if size == 0:
+                continue
+            _records, intact = salvage_scan(self.vlog.read_file(number))
+            if intact < size:
+                self.fs.truncate_file(name, intact)
+        head = self.new_file_number()
+        self.vlog.open_head(head)
+        self.version.vlog.setdefault(head, 0)
 
     # ------------------------------------------------------------------ helpers
 
@@ -508,6 +581,12 @@ class DB:
         writer's pre-check and its critical section must still refuse the
         batch (the bg_error propagation race)."""
         self._error_handler.check_writable()
+        user_bytes = batch.byte_size()
+        if self.vlog is not None:
+            # Separate BEFORE the WAL append: the vlog frames are synced
+            # inside, so a durable WAL pointer always addresses a durable
+            # frame (a crash in between leaves only orphan vlog garbage).
+            batch = self._separate_batch_locked(batch)
         base_sequence = self._sequence + 1
         if self._wal is not None:
             try:
@@ -528,7 +607,9 @@ class DB:
             else:
                 self.stats.user_deletes += 1
         self._sequence = sequence - 1
-        self.stats.user_bytes_written += batch.byte_size()
+        # Charged at the ORIGINAL size: separation must not deflate the
+        # write-amplification denominator.
+        self.stats.user_bytes_written += user_bytes
 
     def _write_concurrent(self, batch: WriteBatch) -> None:
         """Concurrent-pipeline write: throttle on L0 pressure, apply, and
@@ -598,11 +679,17 @@ class DB:
 
     def _apply_group_locked(self, group: list[_GroupWriter]) -> None:
         self._error_handler.check_writable()
+        if self.vlog is not None:
+            # One vlog append + sync covers every member's large values —
+            # group commit's single-device-op shape extends to the vlog.
+            batches = self._separate_group_locked([m.batch for m in group])
+        else:
+            batches = [m.batch for m in group]
         payloads: list[bytes] = []
         sequence = self._sequence + 1
-        for member in group:
-            payloads.append(member.batch.serialize(sequence))
-            sequence += len(member.batch)
+        for batch in batches:
+            payloads.append(batch.serialize(sequence))
+            sequence += len(batch)
         if self._wal is not None:
             try:
                 self._wal.add_records(payloads)
@@ -613,16 +700,66 @@ class DB:
                 raise
         sequence = self._sequence + 1
         stats = self.stats
-        for member in group:
-            for value_type, key, value in member.batch:
+        for member, batch in zip(group, batches):
+            for value_type, key, value in batch:
                 self._memtable.add(sequence, value_type, key, value)
                 sequence += 1
                 if value_type == 1:
                     stats.user_writes += 1
                 else:
                     stats.user_deletes += 1
+            # Original (pre-separation) size, as in _apply_batch_locked.
             stats.user_bytes_written += member.batch.byte_size()
         self._sequence = sequence - 1
+
+    def _separate_batch_locked(self, batch: WriteBatch) -> WriteBatch:
+        return self._separate_group_locked([batch])[0]
+
+    def _separate_group_locked(self, batches: list[WriteBatch]) -> list[WriteBatch]:
+        """Rewrite batches into stored form: values at or past the
+        separation threshold move to the value log (one framed, synced
+        append for the whole run) and become pointers; everything else is
+        inline-tagged.  Caller holds the engine lock."""
+        threshold = self.options.kv_separation_threshold
+        ops_per = [list(batch) for batch in batches]
+        large: list[tuple[int, int]] = []
+        pairs: list[tuple[bytes, bytes]] = []
+        for bi, ops in enumerate(ops_per):
+            for oi, (value_type, key, value) in enumerate(ops):
+                if value_type == TYPE_VALUE and len(value) >= threshold:
+                    large.append((bi, oi))
+                    pairs.append((key, value))
+        pointers: list[bytes] = []
+        if pairs:
+            if self.vlog.head_full():
+                self._roll_vlog_head_locked()
+            pointers = self.vlog.append_records(pairs)
+        stored = dict(zip(large, pointers))
+        out: list[WriteBatch] = []
+        for bi, ops in enumerate(ops_per):
+            rewritten = WriteBatch()
+            for oi, (value_type, key, value) in enumerate(ops):
+                if value_type != TYPE_VALUE:
+                    rewritten.delete(key)
+                elif (bi, oi) in stored:
+                    rewritten.put(key, stored[(bi, oi)])
+                else:
+                    rewritten.put(key, wrap_inline(value))
+            out.append(rewritten)
+        return out
+
+    def _roll_vlog_head_locked(self) -> None:
+        """Open a fresh value-log head file.
+
+        The registration edit is journaled (ManifestWriter syncs per
+        record) BEFORE any pointer into the new file can reach the WAL —
+        the invariant that lets recovery delete any unregistered on-disk
+        VLOG file outright."""
+        number = self.new_file_number()
+        self._apply_edit(
+            VersionEdit(new_vlog_files=[number], next_file_number=self._next_file_number)
+        )
+        self.vlog.open_head(number)
 
     def _throttle_l0(self) -> None:
         """Feed L0 pressure back into the write path (MakeRoomForWrite):
@@ -667,6 +804,9 @@ class DB:
         if self._memtable.approximate_memory_usage() >= self.options.memtable_size:
             self.flush()
             self._run_due_compactions()
+            if self._maybe_run_vlog_gc():
+                # GC re-puts flushed inline; collect any compactions due.
+                self._run_due_compactions()
 
     def _maybe_freeze_locked(self) -> None:
         """Concurrent-pipeline memtable rollover: freeze a full memtable and
@@ -781,9 +921,18 @@ class DB:
     ) -> FileMetadata | None:
         """One flush-build attempt; a failure deletes the partial table so a
         retry (which takes a fresh file number) leaves no orphan behind."""
+        if self.vlog is not None:
+            # Discard observations from a failed earlier attempt — folding
+            # them would double-count the same drops after a retry.
+            self.vlog.take_pending_dead()
         try:
             return flush_memtable(
-                self.fs, self.options, immutable, file_number, self.snapshot_boundaries()
+                self.fs,
+                self.options,
+                immutable,
+                file_number,
+                self.snapshot_boundaries(),
+                on_drop=self.vlog.observe_drop if self.vlog is not None else None,
             )
         except BaseException:
             name = f"{file_number:06d}.sst"
@@ -803,12 +952,14 @@ class DB:
                 {"file": meta.file_number, "bytes": meta.file_size},
             )
         self._immutable = None
+        dead = self.vlog.take_pending_dead() if self.vlog is not None else []
         if meta is not None:
             edit = VersionEdit(
                 log_number=self._log_number,
                 next_file_number=self._next_file_number,
                 last_sequence=self._sequence,
                 new_files=[(0, meta)],
+                vlog_dead=dead,
             )
             self._apply_edit(edit)
             self.stats.flush_count += 1
@@ -833,6 +984,10 @@ class DB:
         else:
             # No table came out (everything dropped), so no version edit —
             # but _immutable was cleared, which is a read-source change.
+            # Dropped entries may still have freed vlog frames, though:
+            # journal the ledger delta on its own.
+            if dead:
+                self._apply_edit(VersionEdit(vlog_dead=dead))
             self._install_superversion_locked()
         if old_log is not None and self.fs.exists(old_log):
             self.fs.delete_file(old_log)
@@ -1000,7 +1155,9 @@ class DB:
                 return False
             task = self._pick_compaction()
         if task is None:
-            return False
+            # Lowest-priority background unit: value-log GC (flushes and
+            # compactions always drain first, keeping writers unblocked).
+            return self._maybe_run_vlog_gc()
         result = self._execute_compaction(task)
         with self._lock:
             self._commit_compaction(task, result)
@@ -1085,6 +1242,10 @@ class DB:
         background worker this runs with the engine lock released — it only
         reads the version (stable between pick and commit) and writes fresh
         files nothing else references yet."""
+        if self.vlog is not None:
+            # Discard a failed prior attempt's drop observations (see
+            # _build_flush_file) so retries never double-fold dead bytes.
+            self.vlog.take_pending_dead()
         tracer = self.tracer
         if tracer.enabled:
             tracer.begin(
@@ -1163,6 +1324,11 @@ class DB:
             (task.parent_level, self.picker.compact_pointer[task.parent_level])
         )
         result.edit.next_file_number = self._next_file_number
+        if self.vlog is not None:
+            # Fold the drops this compaction observed into its own edit:
+            # ledger deltas commit atomically with the file changes that
+            # made the frames dead.
+            result.edit.vlog_dead = self.vlog.take_pending_dead()
         self._apply_edit(result.edit)
         for meta in result.obsolete_files:
             self.picker.forget_file(meta.file_number)
@@ -1200,6 +1366,13 @@ class DB:
                     f"catalog size mismatch for {name}: recorded "
                     f"{meta.file_size}, on disk {actual}"
                 )
+        if self.vlog is not None:
+            for number in self.version.vlog:
+                name = vlog_file_name(number)
+                if not self.fs.exists(name):
+                    raise InvalidArgumentError(
+                        f"catalog references missing value-log file {name}"
+                    )
 
     def compact_all(self) -> None:
         """Drain every level into the deepest non-empty level (manual full
@@ -1430,10 +1603,13 @@ class DB:
                 self._request_compaction()
 
         out: dict[bytes, bytes | None] = {}
+        vlog = self.vlog
         for key in keys:
             value = resolved.get(key)
             if value is not None:
                 stats.gets_found += 1
+                if vlog is not None:
+                    value = vlog.resolve(value)
             out[key] = value
         return out
 
@@ -1522,6 +1698,11 @@ class DB:
                             if extra is not None and extra[0]:
                                 resolved[key] = extra[1]
                                 pending.remove(key)
+            # Resolve pointers before unref (see _get_superversion).
+            if self.vlog is not None:
+                for key, value in resolved.items():
+                    if value is not None:
+                        resolved[key] = self.vlog.resolve(value)
         finally:
             sv.unref()
 
@@ -1559,13 +1740,18 @@ class DB:
         hi = max(f.largest_user_key for f in files)
         dropper = make_tombstone_dropper(self, level, lo, hi)
         write_start = self.fs.stats.per_category[CAT_COMPACTION].bytes_written
+        if self.vlog is not None:
+            self.vlog.take_pending_dead()
         stream = merge_live(
             [table_entry_stream(self, f) for f in files],
             dropper,
             self.snapshot_boundaries(),
+            on_drop=self.vlog.observe_drop if self.vlog is not None else None,
         )
         outputs = build_output_tables(self, stream, level)
         edit = VersionEdit(next_file_number=self._next_file_number)
+        if self.vlog is not None:
+            edit.vlog_dead = self.vlog.take_pending_dead()
         for meta in files:
             edit.deleted_files.append((level, meta.file_number))
         for meta in outputs:
@@ -1583,6 +1769,177 @@ class DB:
     def _observe_space(self) -> None:
         total = self.version.total_file_bytes() + self.deletion_manager.pending_bytes
         self.stats.observe_space(total)
+
+    # ------------------------------------------------------------------ value-log GC
+
+    def _maybe_run_vlog_gc(self) -> bool:
+        """Run one value-log GC round if a file qualifies, then try any
+        deferred physical deletions.  Returns True when work happened.
+
+        Entry points: after flush-driven compactions (synchronous mode) and
+        as the background worker's lowest-priority unit (concurrent mode).
+        The ``_vlog_gc_running`` guard breaks the recursion GC's own re-put
+        traffic could otherwise cause (re-put -> flush -> compactions ->
+        GC)."""
+        if self.vlog is None or self._vlog_gc_running or self._closed:
+            return False
+        with self._lock:
+            victim = self.vlog.pick_gc_victim(self.version.vlog)
+        did = False
+        if victim is not None:
+            self._vlog_gc_running = True
+            try:
+                self._retry_transient(lambda: self._run_vlog_gc(victim), "vlog-gc")
+            finally:
+                self._vlog_gc_running = False
+            did = True
+        if self._process_vlog_deletes():
+            did = True
+        return did
+
+    def _run_vlog_gc(self, victim: int) -> None:
+        """Rewrite ``victim``'s still-live records to the log head, then
+        journal its deletion.
+
+        Crash consistency: re-puts are ordinary durable writes, so a crash
+        at ANY point leaves only duplicate-but-live records — never a
+        dangling pointer.  Before the deletion edit lands the victim stays
+        registered and a re-run converges (the re-pointed keys now fail the
+        liveness check); after it lands, recovery unlinks the file via the
+        unregistered-file rule."""
+        if self.tracer.enabled:
+            self.tracer.begin("vlog.gc", "compaction", {"file": victim})
+        self.stats.vlog_gc_runs += 1
+        try:
+            records, _intact = salvage_scan(self.vlog.read_file(victim))
+            chunk: list[tuple[int, int, bytes, bytes]] = []
+            for record in records:
+                chunk.append(record)
+                if len(chunk) >= 64:
+                    self._gc_rewrite_chunk(victim, chunk)
+                    chunk = []
+                    self._gc_maybe_flush()
+            if chunk:
+                self._gc_rewrite_chunk(victim, chunk)
+                self._gc_maybe_flush()
+            with self._lock:
+                self._apply_edit(VersionEdit(deleted_vlog_files=[victim]))
+                # Physical deletion waits for every reader that might still
+                # hold the old pointers: barrier = the first sequence at
+                # which all live versions point at the head copies.
+                self.vlog.defer_delete(victim, self._sequence)
+        finally:
+            if self.tracer.enabled:
+                self.tracer.end("vlog.gc", "compaction")
+
+    def _gc_rewrite_chunk(
+        self, victim: int, chunk: list[tuple[int, int, bytes, bytes]]
+    ) -> None:
+        """Re-point one chunk of victim records.  Liveness re-check and
+        re-put happen under a single engine-lock hold, so a concurrent
+        writer can never be clobbered by a stale GC copy: a record is
+        rewritten only while the newest version of its key is EXACTLY the
+        pointer to this frame."""
+        with self._lock:
+            live: list[tuple[bytes, bytes]] = []
+            for frame_offset, frame_length, key, value in chunk:
+                stored = self._lookup_stored_locked(key)
+                if stored is not None and stored == encode_pointer(
+                    victim, frame_offset, frame_length
+                ):
+                    live.append((key, value))
+            if live:
+                self._apply_gc_batch_locked(live)
+
+    def _apply_gc_batch_locked(self, pairs: list[tuple[bytes, bytes]]) -> None:
+        """Re-put GC survivors through the normal durable write path (vlog
+        re-separation + WAL + memtable) WITHOUT touching the user write
+        counters — GC traffic is engine-internal and must not deflate the
+        measured write amplification."""
+        self._error_handler.check_writable()
+        batch = WriteBatch()
+        for key, value in pairs:
+            batch.put(key, value)
+        batch = self._separate_batch_locked(batch)
+        base_sequence = self._sequence + 1
+        if self._wal is not None:
+            try:
+                self._wal.add_record(batch.serialize(base_sequence))
+            except BaseException as exc:  # noqa: BLE001 - log integrity
+                self._error_handler.record(exc, "wal", retryable=False)
+                raise
+        sequence = base_sequence
+        for value_type, key, value in batch:
+            self._memtable.add(sequence, value_type, key, value)
+            sequence += 1
+        self._sequence = sequence - 1
+        self.stats.vlog_gc_rewritten_values += len(pairs)
+        self.stats.vlog_gc_rewritten_bytes += sum(len(v) for _k, v in pairs)
+
+    def _gc_maybe_flush(self) -> None:
+        """Keep the memtable bounded while GC re-puts stream through it:
+        freeze-and-flush inline (both modes).  Compactions the flushes make
+        due run after the GC round finishes."""
+        with self._lock:
+            if (
+                self._immutable is None
+                and self._memtable.approximate_memory_usage()
+                >= self.options.memtable_size
+            ):
+                self._pending_log = self._freeze_locked()
+            self._drain_immutable_locked()
+
+    def _process_vlog_deletes(self) -> bool:
+        """Physically unlink journaled-deleted vlog files once nothing can
+        still read them: no deletion pin (open iterator / draining
+        superversion) and no snapshot older than the GC barrier."""
+        if self.vlog is None or not self.vlog.pending_deletes:
+            return False
+        with self._lock:
+            if self.deletion_manager.active_pins:
+                return False
+            boundaries = self.snapshots.boundaries()
+            oldest = min(boundaries) if boundaries else None
+            return (
+                self.vlog.process_deletes(
+                    lambda barrier: oldest is None or oldest >= barrier
+                )
+                > 0
+            )
+
+    def _lookup_stored_locked(self, key: bytes) -> bytes | None:
+        """Newest stored (unresolved) value for ``key`` at the current
+        sequence; None covers both absent and deleted.  GC's liveness
+        re-check: no stats, no seek charges, no pointer resolution."""
+        sequence = self._sequence
+        found, value = self._memtable.get(key, sequence)
+        if found:
+            return value
+        if self._immutable is not None:
+            found, value = self._immutable.get(key, sequence)
+            if found:
+                return value
+        for meta in self.version.level0_files_newest_first():
+            if meta.smallest_user_key <= key <= meta.largest_user_key:
+                reader = self.table_cache.get(meta.file_number, meta.file_name())
+                found, value, _touched = reader.lookup(
+                    key, sequence, block_cache=self.block_cache, category=CAT_GET
+                )
+                if found:
+                    return value
+        for level in range(1, self.version.num_levels):
+            meta = self.version.file_for_key(level, key)
+            if meta is not None:
+                reader = self.table_cache.get(meta.file_number, meta.file_name())
+                found, value, _touched = reader.lookup(
+                    key, sequence, block_cache=self.block_cache, category=CAT_GET
+                )
+                if found:
+                    return value
+            extra = self._extra_get_after_level(level, key, sequence)
+            if extra is not None and extra[0]:
+                return extra[1]
+        return None
 
     # ------------------------------------------------------------------ reads
 
@@ -1731,6 +2088,11 @@ class DB:
                                     break
             if found:
                 found_value = value
+                # Resolve while still holding the superversion reference:
+                # pointer resolution must finish before this read stops
+                # being visible to the GC deletion barrier.
+                if found_value is not None and self.vlog is not None:
+                    found_value = self.vlog.resolve(found_value)
         finally:
             sv.unref()
         hit = found and found_value is not None
@@ -1747,6 +2109,8 @@ class DB:
         if value is None:  # tombstone
             return default
         self.stats.gets_found += 1
+        if self.vlog is not None:
+            return self.vlog.resolve(value)
         return value
 
     def _extra_get_after_level(
@@ -1971,7 +2335,13 @@ class DB:
 
             self.deletion_manager.pin()
             self.stats.scans += 1
-            return DBIterator(sources, snapshot, end=end, on_close=on_close)
+            return DBIterator(
+                sources,
+                snapshot,
+                end=end,
+                on_close=on_close,
+                resolve=self.vlog.resolve if self.vlog is not None else None,
+            )
 
     def scan(
         self,
@@ -2173,6 +2543,11 @@ class DB:
     def _close_locked(self) -> None:
         if self._wal is not None:
             self._wal.close()
+        if self.vlog is not None:
+            # Deferred GC deletions that never cleared simply stay on disk:
+            # their deletion edits are journaled, so the next open unlinks
+            # them via the unregistered-file rule.
+            self.vlog.close()
         if self._manifest is not None:
             self._manifest.close()
         if self._superversion is not None:

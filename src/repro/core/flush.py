@@ -18,12 +18,16 @@ def flush_memtable(
     memtable: MemTable,
     file_number: int,
     snapshot_boundaries: list[int] | None = None,
+    on_drop=None,
 ) -> FileMetadata | None:
     """Serialize ``memtable`` into ``<file_number>.sst`` at level 0.
 
     Keeps, per user key, the newest version of every live snapshot stratum
     (just the newest overall when no snapshots are live).  Tombstones are
     always preserved — an L0 flush cannot know what deeper levels hold.
+
+    ``on_drop`` (when given) is called with each dropped entry's stored
+    value — the value-log garbage ledger's observation hook.
 
     Returns None when the memtable holds no live entries at all.
     """
@@ -36,6 +40,8 @@ def flush_memtable(
             keeper.new_key()
             last_user_key = user_key
         if not keeper.keep(sequence):
+            if on_drop is not None:
+                on_drop(value)
             continue
         builder.add(comparable_to_internal(comparable), value)
     if builder.empty():

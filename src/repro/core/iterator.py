@@ -70,9 +70,14 @@ class DBIterator:
         snapshot_sequence: int,
         end: bytes | None = None,
         on_close: Callable[[], None] | None = None,
+        resolve: Callable[[bytes], bytes] | None = None,
     ):
         self._stream = merge_visible(sources, snapshot_sequence, end)
         self._on_close = on_close
+        #: Stored-value mapping applied to every yielded value — the
+        #: value-log pointer resolution hook (DESIGN.md §13).  None (the
+        #: non-separated engine) keeps the historical zero-copy yield.
+        self._resolve = resolve
         self._closed = False
 
     def __iter__(self) -> "DBIterator":
@@ -82,10 +87,13 @@ class DBIterator:
         if self._closed:
             raise StopIteration
         try:
-            return next(self._stream)
+            entry = next(self._stream)
         except StopIteration:
             self.close()
             raise
+        if self._resolve is None:
+            return entry
+        return entry[0], self._resolve(entry[1])
 
     def close(self) -> None:
         if not self._closed:

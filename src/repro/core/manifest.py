@@ -21,6 +21,11 @@ _TAG_COMPACT_POINTER = 4
 _TAG_DELETED_FILE = 5
 _TAG_NEW_FILE = 6
 _TAG_UPDATED_FILE = 7
+# Value-log garbage ledger (DESIGN.md §13): file registrations, dead-byte
+# deltas observed by compactions, and GC deletions.
+_TAG_VLOG_FILE = 8
+_TAG_VLOG_DEAD = 9
+_TAG_VLOG_DELETED = 10
 
 CURRENT_FILE = "CURRENT"
 
@@ -90,6 +95,16 @@ def encode_edit(edit: VersionEdit) -> bytes:
     for level, meta in edit.updated_files:
         out.varint(_TAG_UPDATED_FILE)
         _encode_file(out, level, meta)
+    for number in edit.new_vlog_files:
+        out.varint(_TAG_VLOG_FILE)
+        out.varint(number)
+    for number, dead_bytes in edit.vlog_dead:
+        out.varint(_TAG_VLOG_DEAD)
+        out.varint(number)
+        out.varint(dead_bytes)
+    for number in edit.deleted_vlog_files:
+        out.varint(_TAG_VLOG_DELETED)
+        out.varint(number)
     return out.getvalue()
 
 
@@ -119,6 +134,16 @@ def decode_edit(buf: bytes) -> VersionEdit:
         elif tag == _TAG_UPDATED_FILE:
             level, meta, offset = _decode_file(buf, offset)
             edit.updated_files.append((level, meta))
+        elif tag == _TAG_VLOG_FILE:
+            number, offset = decode_varint(buf, offset)
+            edit.new_vlog_files.append(number)
+        elif tag == _TAG_VLOG_DEAD:
+            number, offset = decode_varint(buf, offset)
+            dead_bytes, offset = decode_varint(buf, offset)
+            edit.vlog_dead.append((number, dead_bytes))
+        elif tag == _TAG_VLOG_DELETED:
+            number, offset = decode_varint(buf, offset)
+            edit.deleted_vlog_files.append(number)
         else:
             raise CorruptionError(f"unknown manifest tag {tag}")
     return edit

@@ -95,6 +95,12 @@ class VersionEdit:
     new_files: list[tuple[int, FileMetadata]] = field(default_factory=list)
     #: In-place metadata updates from Block Compaction: (level, metadata).
     updated_files: list[tuple[int, FileMetadata]] = field(default_factory=list)
+    #: Value-log garbage ledger (DESIGN.md §13): registered vlog files,
+    #: compaction-observed dead-byte deltas ``(file_number, bytes)``, and
+    #: GC-deleted vlog files.
+    new_vlog_files: list[int] = field(default_factory=list)
+    vlog_dead: list[tuple[int, int]] = field(default_factory=list)
+    deleted_vlog_files: list[int] = field(default_factory=list)
 
 
 class Version:
@@ -110,6 +116,10 @@ class Version:
         if num_levels < 2:
             raise InvalidArgumentError("need at least 2 levels")
         self.levels: list[list[FileMetadata]] = [[] for _ in range(num_levels)]
+        #: Value-log garbage ledger: live vlog file number -> dead bytes
+        #: (manifest-journaled; live bytes are the physical file size minus
+        #: this, since vlog files are append-only).
+        self.vlog: dict[int, int] = {}
 
     @property
     def num_levels(self) -> int:
@@ -202,6 +212,13 @@ class Version:
         for level, meta in edit.new_files:
             self.levels[level].append(meta)
             self._resort(level)
+        for number in edit.new_vlog_files:
+            self.vlog.setdefault(number, 0)
+        for number, dead_bytes in edit.vlog_dead:
+            if number in self.vlog:
+                self.vlog[number] += dead_bytes
+        for number in edit.deleted_vlog_files:
+            self.vlog.pop(number, None)
 
     def _resort(self, level: int) -> None:
         if level == 0:

@@ -88,6 +88,22 @@ class DBStats:
     obsolete_scans: int = 0
     obsolete_files_deleted: int = 0
 
+    # key-value separation (DESIGN.md §13)
+    #: Values redirected to the value log by the write path (GC rewrites
+    #: included) and the framed bytes appended for them.
+    vlog_separated_values: int = 0
+    vlog_separated_bytes: int = 0
+    #: Pointer resolutions performed by reads (get/multi_get/scan).
+    vlog_resolves: int = 0
+    #: Dead frame bytes observed by flush/compaction drop sites.
+    vlog_dead_bytes_observed: int = 0
+    #: GC activity: runs started, live records rewritten to the head (and
+    #: their framed bytes), victim files physically deleted.
+    vlog_gc_runs: int = 0
+    vlog_gc_rewritten_values: int = 0
+    vlog_gc_rewritten_bytes: int = 0
+    vlog_files_deleted: int = 0
+
     # error handling (severity engine)
     #: Background failures observed (any severity).
     bg_failures: int = 0
@@ -135,6 +151,12 @@ class DBStats:
         with self._lock:
             self.gets += gets
             self.gets_found += found
+
+    def count_vlog_resolves(self, n: int) -> None:
+        """Add ``n`` value-log pointer resolutions.  Safe to call without
+        the engine lock (the lock-free read path resolves pointers)."""
+        with self._lock:
+            self.vlog_resolves += n
 
     def ensure_levels(self, num_levels: int) -> None:
         while len(self.per_level_write_bytes) < num_levels:

@@ -118,6 +118,40 @@ def _render_db(body: _Body, db, base: dict[str, str]) -> None:
                 f"{name}{_label_str({**base, 'level': str(level)})} {getter(level)}"
             )
 
+    # -- value-log utilization (DESIGN.md §13) -----------------------------
+    # One live/dead pair per registered vlog file, from the manifest's
+    # garbage ledger; carries ``base`` labels, so the sharded exporter
+    # aggregates utilization per engine shard.  The lifetime GC counters
+    # (runs, rewrites, deletions) already export via the DBStats loop.
+    if getattr(db, "vlog", None) is not None:
+        from ..errors import FileSystemError
+        from ..vlog import vlog_file_name
+
+        body.sample(
+            f"{_PREFIX}_vlog_files", len(db.version.vlog), base, kind="gauge",
+            help_="Registered value-log files (head included)",
+        )
+        name = f"{_PREFIX}_vlog_file_bytes"
+        body.header(
+            name, "gauge",
+            "Per-value-log-file bytes by state (dead = ledgered garbage)",
+        )
+        for number in sorted(db.version.vlog):
+            file_name = vlog_file_name(number)
+            dead = db.version.vlog[number]
+            try:
+                size = db.fs.file_size(file_name)
+            except (FileSystemError, OSError):
+                size = 0
+            body.lines.append(
+                f"{name}{_label_str({**base, 'file': file_name, 'state': 'live'})}"
+                f" {max(0, size - dead)}"
+            )
+            body.lines.append(
+                f"{name}{_label_str({**base, 'file': file_name, 'state': 'dead'})}"
+                f" {dead}"
+            )
+
     # -- IOStats -----------------------------------------------------------
     io = db.io_stats
     for field_name in (

@@ -213,6 +213,24 @@ class Options:
     #: RocksDB only parallelizes L0 compactions).
     l0_subcompaction_only: bool = True
 
+    # --- Key-value separation (DESIGN.md §13) -----------------------------------
+    #: Store values at or above ``kv_separation_threshold`` in append-only
+    #: value-log files (``VLOG-%06d``); the LSM keeps the key plus a fixed
+    #: 17-byte pointer that resolves transparently on reads.  Off by
+    #: default: the non-separated engine stays bit-identical (stored values
+    #: are raw bytes only when this is off).  The setting is a property of
+    #: the store, not the open: reopen a store with the same value it was
+    #: created with.
+    kv_separation: bool = False
+    #: Smallest value (bytes) redirected to the value log.
+    kv_separation_threshold: int = 1024
+    #: Head-file rotation size: a new VLOG file starts once the head
+    #: reaches this many bytes.
+    vlog_file_size: int = 4 * 1024 * 1024
+    #: GC triggers on a sealed vlog file once its manifest-journaled dead
+    #: bytes reach this fraction of the file size.
+    vlog_gc_ratio: float = 0.5
+
     # --- Observability (DESIGN.md §8) ------------------------------------------
     #: Record structured begin/end spans (write, group commit, flush,
     #: compaction pick/execute/commit, sub-tasks, stalls, fs I/O) into a
@@ -324,6 +342,12 @@ class Options:
             raise InvalidArgumentError("bg_error_max_retries must be >= 0")
         if self.bg_retry_backoff_s < 0 or self.bg_retry_backoff_cap_s < 0:
             raise InvalidArgumentError("retry backoff values must be >= 0")
+        if self.kv_separation_threshold < 1:
+            raise InvalidArgumentError("kv_separation_threshold must be >= 1")
+        if self.vlog_file_size < 1024:
+            raise InvalidArgumentError("vlog_file_size must be >= 1024")
+        if not 0.0 < self.vlog_gc_ratio <= 1.0:
+            raise InvalidArgumentError("vlog_gc_ratio must be in (0, 1]")
         if len(self.selective_thresholds) < self.max_levels:
             raise InvalidArgumentError("selective_thresholds must cover every level")
         for t in self.selective_thresholds:
@@ -363,6 +387,15 @@ class Options:
         stays synchronous — this is the configuration the read-scaling
         benchmark measures."""
         params: dict = dict(lock_free_reads=True, cache_shards=16)
+        params.update(overrides)
+        return self.copy(**params)
+
+    def kv_separated(self, **overrides) -> "Options":
+        """Copy with key-value separation enabled (DESIGN.md §13): values
+        at or above the threshold live in CRC-framed ``VLOG-%06d`` files
+        and the LSM stores fixed-size pointers, cutting compaction write
+        amplification in the large-value regime."""
+        params: dict = dict(kv_separation=True)
         params.update(overrides)
         return self.copy(**params)
 

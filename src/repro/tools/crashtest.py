@@ -89,19 +89,27 @@ def harness_options(**overrides) -> Options:
 # --------------------------------------------------------------- workload
 
 
-def build_workload(num_ops: int, seed: int, keyspace: int = 32) -> list[tuple]:
+def build_workload(
+    num_ops: int, seed: int, keyspace: int = 32, value_size: int = 0
+) -> list[tuple]:
     """A deterministic op list: puts, deletes, multi-key batches, flushes.
 
     The small keyspace forces overwrites and tombstones, so recovery must
-    get *shadowing* right, not just presence.
+    get *shadowing* right, not just presence.  ``value_size`` pads every
+    value up to that length (values stay distinct — the pad is a suffix),
+    so the kv-separation leg writes values that cross the vlog threshold.
     """
     rng = random.Random(seed)
+
+    def pad(value: bytes) -> bytes:
+        return value.ljust(value_size, b"x") if value_size else value
+
     ops: list[tuple] = []
     for i in range(num_ops):
         roll = rng.random()
         key = f"k{rng.randrange(keyspace):04d}".encode()
         if roll < 0.62:
-            ops.append(("put", key, f"v{i:06d}".encode()))
+            ops.append(("put", key, pad(f"v{i:06d}".encode())))
         elif roll < 0.76:
             ops.append(("delete", key))
         elif roll < 0.92:
@@ -111,7 +119,7 @@ def build_workload(num_ops: int, seed: int, keyspace: int = 32) -> list[tuple]:
                 if rng.random() < 0.2:
                     entries.append(("delete", bkey, None))
                 else:
-                    entries.append(("put", bkey, f"b{i:06d}.{j}".encode()))
+                    entries.append(("put", bkey, pad(f"b{i:06d}.{j}".encode())))
             ops.append(("batch", entries))
         else:
             ops.append(("flush",))
@@ -399,14 +407,16 @@ def run_crash_test(
     seed: int = 0,
     check_repair: bool = True,
     options_overrides: dict | None = None,
+    value_size: int = 0,
 ) -> CrashTestReport:
     """Phase A: measure the workload's sync schedule; phase B: crash at
     (up to ``max_points`` of) its barriers and verify recovery.
 
     ``options_overrides`` layers extra :class:`Options` fields onto the
     harness geometry for every DB the harness opens (workload, recovery,
-    and repair runs alike)."""
-    ops = build_workload(num_ops, seed)
+    and repair runs alike).  ``value_size`` pads workload values (the
+    kv-separation leg uses it to cross the vlog threshold)."""
+    ops = build_workload(num_ops, seed, value_size=value_size)
     options = harness_options(**(options_overrides or {}))
 
     baseline_fs = FaultInjectionFS(SimulatedFS(), FaultPolicy(seed=seed))
@@ -514,7 +524,7 @@ class SharedClockFaultFS(FaultInjectionFS):
 
 
 def build_sharded_workload(
-    num_ops: int, seed: int, keyspace: int = 32
+    num_ops: int, seed: int, keyspace: int = 32, value_size: int = 0
 ) -> list[tuple]:
     """The single-engine workload interleaved with router edits.
 
@@ -526,7 +536,7 @@ def build_sharded_workload(
     The operand is a raw draw; it picks a live shard index modulo the
     shard count at apply time."""
     rng = random.Random(seed ^ 0x51A2DED)
-    ops = build_workload(num_ops, seed, keyspace)
+    ops = build_workload(num_ops, seed, keyspace, value_size)
     out: list[tuple] = []
     for i, op in enumerate(ops, start=1):
         out.append(op)
@@ -643,6 +653,7 @@ def run_sharded_crash_test(
     seed: int = 0,
     shards: int = 2,
     options_overrides: dict | None = None,
+    value_size: int = 0,
 ) -> CrashTestReport:
     """The crash-point sweep against a 2-shard :class:`ShardedDB`.
 
@@ -652,7 +663,7 @@ def run_sharded_crash_test(
     crashes inside the router-edit protocol as well as the per-shard
     write path.  Repair convergence is skipped (single-store invariant);
     orphan-shard GC on reopen is checked in its place."""
-    ops = build_sharded_workload(num_ops, seed)
+    ops = build_sharded_workload(num_ops, seed, value_size=value_size)
     options = harness_options(**(options_overrides or {}))
     # The keyspace is k0000..k0031; one boundary splits it evenly so both
     # initial shards see traffic from the first op on.
@@ -716,9 +727,36 @@ def build_crashtest_parser():
                         default="none",
                         help="run every harness DB with this compaction "
                         "offload backend (default none)")
+    parser.add_argument("--kv-separation", action="store_true",
+                        help="run every harness DB with key-value separation "
+                        "on (tiny vlog threshold/file size + padded values, "
+                        "so crash points land inside vlog append, head-roll "
+                        "registration, and GC rewrite/journal windows)")
     parser.add_argument("--json", metavar="PATH",
                         help="also write the full report as JSON")
     return parser
+
+
+#: Workload value padding used by the kv-separation leg — large enough to
+#: cross :func:`kv_separation_overrides`'s threshold, small enough that the
+#: harness geometry (1 KiB memtable) still flushes every few ops.
+KV_SEPARATION_VALUE_SIZE = 48
+
+
+def kv_separation_overrides() -> dict:
+    """Options overrides for crash-testing the value-log subsystem.
+
+    The threshold sits below the padded workload values so every put is
+    separated; the tiny file size forces head rolls (manifest-journaled
+    registrations) within a ~hundred-op workload; the eager GC ratio makes
+    GC fire during the run, so the crash schedule's barriers fall inside
+    GC's re-put stream, deletion journal write, and deferred unlink."""
+    return {
+        "kv_separation": True,
+        "kv_separation_threshold": 24,
+        "vlog_file_size": 1024,
+        "vlog_gc_ratio": 0.3,
+    }
 
 
 def offload_overrides(mode: str) -> dict:
@@ -741,12 +779,18 @@ def run_crashtest_cli(argv: list[str]) -> int:
     args = build_crashtest_parser().parse_args(argv)
     num_ops = 90 if args.quick else args.ops
     max_points = 56 if args.quick else args.points
+    overrides = offload_overrides(args.offload)
+    value_size = 0
+    if args.kv_separation:
+        overrides.update(kv_separation_overrides())
+        value_size = KV_SEPARATION_VALUE_SIZE
     if args.sharded:
         report = run_sharded_crash_test(
             num_ops=num_ops,
             max_points=max_points,
             seed=args.seed,
-            options_overrides=offload_overrides(args.offload),
+            options_overrides=overrides,
+            value_size=value_size,
         )
     else:
         report = run_crash_test(
@@ -754,7 +798,8 @@ def run_crashtest_cli(argv: list[str]) -> int:
             max_points=max_points,
             seed=args.seed,
             check_repair=not args.no_repair,
-            options_overrides=offload_overrides(args.offload),
+            options_overrides=overrides,
+            value_size=value_size,
         )
     print(report.summary())
     if args.json:

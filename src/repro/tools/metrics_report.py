@@ -83,13 +83,50 @@ def replay_store(fs: FileSystem) -> StoreReplay:
         if edit.last_sequence is not None:
             replay.last_sequence = edit.last_sequence
 
+    from ..vlog import parse_vlog_file_name, vlog_file_name
+
     live_names = {meta.file_name() for _, meta in version.all_files()}
+    live_vlog = {vlog_file_name(number) for number in version.vlog}
     on_disk = set(fs.list_dir())
     replay.garbage_files = sorted(
-        name for name in on_disk if name.endswith(".sst") and name not in live_names
+        name
+        for name in on_disk
+        if (name.endswith(".sst") and name not in live_names)
+        or (parse_vlog_file_name(name) is not None and name not in live_vlog)
     )
-    replay.missing_files = sorted(live_names - on_disk)
+    replay.missing_files = sorted((live_names | live_vlog) - on_disk)
     return replay
+
+
+def vlog_utilization(fs: FileSystem, replay: StoreReplay) -> list[dict]:
+    """Per-value-log-file utilization from the manifest's garbage ledger.
+
+    One dict per registered vlog file: its on-disk size, the dead bytes
+    compactions have journaled against it, and the live remainder.  The
+    ledger is GC's scheduling heuristic — dead counts reset on repair and
+    lag the newest drops — so ratios are advisory, not exact."""
+    from ..errors import FileSystemError
+    from ..vlog import vlog_file_name
+
+    rows = []
+    for number in sorted(replay.version.vlog):
+        name = vlog_file_name(number)
+        dead = replay.version.vlog[number]
+        try:
+            size = fs.file_size(name)
+        except (FileSystemError, OSError):
+            size = 0
+        rows.append(
+            {
+                "file": name,
+                "number": number,
+                "size": size,
+                "dead_bytes": dead,
+                "live_bytes": max(0, size - dead),
+                "dead_ratio": (dead / size) if size else 0.0,
+            }
+        )
+    return rows
 
 
 def format_store_report(fs: FileSystem) -> str:
@@ -151,11 +188,44 @@ def format_store_report(fs: FileSystem) -> str:
         f"{total_file / total_valid:.3f}" if total_valid else
         "space amplification: n/a (no valid bytes)",
     ]
+    vlog_rows = vlog_utilization(fs, replay)
+    if vlog_rows:
+        vrows = []
+        vlog_size = vlog_dead = 0
+        for row in vlog_rows:
+            vrows.append(
+                [
+                    row["file"],
+                    human_bytes(row["size"]),
+                    human_bytes(row["live_bytes"]),
+                    human_bytes(row["dead_bytes"]),
+                    f"{row['dead_ratio']:.1%}" if row["size"] else "-",
+                ]
+            )
+            vlog_size += row["size"]
+            vlog_dead += row["dead_bytes"]
+        vrows.append(
+            [
+                "total",
+                human_bytes(vlog_size),
+                human_bytes(max(0, vlog_size - vlog_dead)),
+                human_bytes(vlog_dead),
+                f"{vlog_dead / vlog_size:.1%}" if vlog_size else "-",
+            ]
+        )
+        lines.append("")
+        lines.append(
+            format_table(
+                ["vlog file", "size", "live", "dead", "dead %"],
+                vrows,
+                title="Value-log utilization (from manifest garbage ledger)",
+            )
+        )
     if replay.garbage_files:
         shown = ", ".join(replay.garbage_files[:8])
         more = len(replay.garbage_files) - 8
         lines.append(
-            f"garbage .sst files awaiting lazy deletion "
+            f"garbage files awaiting lazy deletion "
             f"({len(replay.garbage_files)}): {shown}"
             + (f", +{more} more" if more > 0 else "")
         )
@@ -193,9 +263,11 @@ def format_sharded_store_report(root: str) -> str:
 
     rows = []
     total_files = total_bytes = total_valid = 0
+    total_vlog = total_vlog_dead = 0
     replays = []
     for index, spec in enumerate(rmap.specs):
-        replay = replay_store(LocalFS(os.path.join(root, spec.name)))
+        shard_fs = LocalFS(os.path.join(root, spec.name))
+        replay = replay_store(shard_fs)
         replays.append((spec, replay))
         version = replay.version
         file_bytes = version.total_file_bytes()
@@ -203,6 +275,9 @@ def format_sharded_store_report(root: str) -> str:
             version.level_valid_bytes(level)
             for level in range(version.num_levels)
         )
+        vlog_rows = vlog_utilization(shard_fs, replay)
+        vlog_bytes = sum(row["size"] for row in vlog_rows)
+        vlog_dead = sum(row["dead_bytes"] for row in vlog_rows)
         lower = rmap.lower(index)
         rows.append(
             [
@@ -213,11 +288,15 @@ def format_sharded_store_report(root: str) -> str:
                 human_bytes(file_bytes),
                 human_bytes(valid),
                 f"{(file_bytes - valid) / file_bytes:.1%}" if file_bytes else "-",
+                human_bytes(vlog_bytes) if vlog_rows else "-",
+                f"{vlog_dead / vlog_bytes:.1%}" if vlog_bytes else "-",
             ]
         )
         total_files += version.num_files()
         total_bytes += file_bytes
         total_valid += valid
+        total_vlog += vlog_bytes
+        total_vlog_dead += vlog_dead
     rows.append(
         [
             "total", "", "",
@@ -225,10 +304,15 @@ def format_sharded_store_report(root: str) -> str:
             human_bytes(total_bytes),
             human_bytes(total_valid),
             f"{(total_bytes - total_valid) / total_bytes:.1%}" if total_bytes else "-",
+            human_bytes(total_vlog) if total_vlog else "-",
+            f"{total_vlog_dead / total_vlog:.1%}" if total_vlog else "-",
         ]
     )
     table = format_table(
-        ["shard", "lower", "upper", "files", "file bytes", "valid", "garbage"],
+        [
+            "shard", "lower", "upper", "files", "file bytes", "valid",
+            "garbage", "vlog bytes", "vlog dead",
+        ],
         rows,
         title="Per-shard storage (from router + manifest replay)",
     )

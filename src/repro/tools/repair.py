@@ -53,6 +53,11 @@ class RepairReport:
     table_bytes_discarded: int = 0
     #: Unreplayable WAL tail bytes skipped during log conversion.
     wal_bytes_skipped: int = 0
+    #: Value-log files re-registered in the fresh manifest (their garbage
+    #: ledger restarts at zero — future compactions re-derive it).
+    vlog_files_recovered: int = 0
+    #: Torn value-log tail bytes truncated away.
+    vlog_bytes_discarded: int = 0
 
     def summary(self) -> str:
         """One-paragraph human-readable outcome."""
@@ -70,6 +75,11 @@ class RepairReport:
             )
         if self.wal_bytes_skipped:
             lines.append(f"skipped {self.wal_bytes_skipped} unreplayable WAL byte(s)")
+        if self.vlog_files_recovered:
+            lines.append(
+                f"re-registered {self.vlog_files_recovered} value-log file(s) "
+                f"({self.vlog_bytes_discarded} torn bytes discarded)"
+            )
         if self.corrupt_files:
             lines.append("set aside as corrupt: " + ", ".join(self.corrupt_files))
         return "\n".join(lines)
@@ -247,6 +257,33 @@ def repair_store(fs: FileSystem, options: Options | None = None) -> RepairReport
         finally:
             reader.close()
 
+    # Value-log files: truncate torn tails and re-register every survivor.
+    # Dead-byte ledgers restart at zero — safe, because the ledger is only
+    # a GC scheduling heuristic (GC re-checks liveness against the LSM) and
+    # future compactions re-derive the counts.  Pointers in salvaged tables
+    # stay valid: truncation only removes frames past the last intact CRC,
+    # which no durable pointer can address (the vlog append syncs before
+    # the pointer's WAL record).
+    from ..vlog import parse_vlog_file_name, salvage_scan
+
+    vlog_files: list[int] = []
+    for name in names:
+        number = parse_vlog_file_name(name)
+        if number is None:
+            continue
+        try:
+            size = fs.file_size(name)
+            _records, intact = salvage_scan(fs._read(name, 0, size))
+        except (FileSystemError, OSError):
+            report.corrupt_files.append(name)
+            continue
+        if intact < size:
+            fs.truncate_file(name, intact)
+            report.vlog_bytes_discarded += size - intact
+        vlog_files.append(number)
+        max_file_number = max(max_file_number, number)
+        report.vlog_files_recovered += 1
+
     manifest_number = max_file_number + 1
     writer = ManifestWriter(fs, manifest_number)
     edit = VersionEdit(
@@ -254,6 +291,7 @@ def repair_store(fs: FileSystem, options: Options | None = None) -> RepairReport
         next_file_number=manifest_number + 1,
         last_sequence=report.max_sequence,
         new_files=[(0, meta) for meta in tables],
+        new_vlog_files=sorted(vlog_files),
     )
     writer.log_edit(edit)
     writer.close()

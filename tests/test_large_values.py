@@ -1,0 +1,93 @@
+"""Baseline regression: values larger than a data block on the plain engine.
+
+The tiny test geometry uses 256-byte blocks, so a 4 KiB value forces
+single-entry oversized blocks through flush, every compaction granularity,
+the WAL, and recovery.  Key-value separation exists to make this regime
+cheap; these tests pin down that the *unseparated* engine stays correct in
+it, so the separated engine's benchmarks compare against working code."""
+
+from conftest import make_db
+from repro.storage.fs import SimulatedFS
+
+
+def large(i: int, size: int = 4096) -> tuple[bytes, bytes]:
+    key = f"big{i:06d}".encode()
+    return key, (f"payload{i:06d}.".encode() * (size // 14 + 1))[:size]
+
+
+class TestLargeValuesBaseline:
+    def test_get_round_trip(self, any_style):
+        db = make_db(any_style)
+        pairs = [large(i) for i in range(12)]
+        for key, value in pairs:
+            db.put(key, value)
+        db.flush()
+        for key, value in pairs:
+            assert db.get(key) == value
+        db.close()
+
+    def test_multi_get(self, any_style):
+        db = make_db(any_style)
+        pairs = [large(i) for i in range(10)]
+        for key, value in pairs:
+            db.put(key, value)
+        db.flush()
+        out = db.multi_get([key for key, _ in pairs] + [b"missing"])
+        assert out == {**dict(pairs), b"missing": None}
+        db.close()
+
+    def test_scan(self, any_style):
+        db = make_db(any_style)
+        pairs = [large(i) for i in range(10)]
+        for key, value in pairs:
+            db.put(key, value)
+        db.flush()
+        assert list(db.scan()) == pairs
+        db.close()
+
+    def test_overwrites_survive_compaction(self, any_style):
+        db = make_db(any_style)
+        for generation in range(3):
+            for i in range(8):
+                key, _ = large(i)
+                db.put(key, large(i, 4096 + generation)[1])
+            db.flush()
+        db.compact_all()
+        for i in range(8):
+            key, _ = large(i)
+            assert db.get(key) == large(i, 4098)[1]
+        db.close()
+
+    def test_recovery_round_trip(self, any_style):
+        fs = SimulatedFS()
+        db = make_db(any_style, fs=fs)
+        pairs = [large(i) for i in range(10)]
+        for key, value in pairs:
+            db.put(key, value)
+        # No flush: half the data must come back from the WAL alone.
+        for key, value in [large(i, 2048) for i in range(10, 16)]:
+            db.put(key, value)
+        db.close()
+        db = make_db(any_style, fs=fs)
+        for key, value in pairs:
+            assert db.get(key) == value
+        for key, value in [large(i, 2048) for i in range(10, 16)]:
+            assert db.get(key) == value
+        db.close()
+
+    def test_value_spanning_many_blocks_with_small_neighbours(self, any_style):
+        db = make_db(any_style)
+        db.put(b"aaa", b"s")
+        db.put(b"big", large(0, 16384)[1])
+        db.put(b"zzz", b"t")
+        db.flush()
+        db.compact_all()
+        assert db.get(b"aaa") == b"s"
+        assert db.get(b"big") == large(0, 16384)[1]
+        assert db.get(b"zzz") == b"t"
+        assert list(db.scan()) == [
+            (b"aaa", b"s"),
+            (b"big", large(0, 16384)[1]),
+            (b"zzz", b"t"),
+        ]
+        db.close()
