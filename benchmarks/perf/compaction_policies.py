@@ -1,0 +1,364 @@
+"""Compaction-policy matrix: WA/throughput/p99 per policy, plus the tuner.
+
+Runs the same keyed workloads under every compaction policy (DESIGN.md
+§14) — leveled, tiered, lazy_leveled, one_leveling — across YCSB-style
+operation mixes and Zipfian skews, and writes
+``BENCH_compaction_policies.json`` at the repo root.  Two adaptive
+scenarios then pit the online tuner against the static policies on
+workloads whose character *shifts* mid-run (a hotspot/mix shift and a
+write-burst pattern), where no static choice is right the whole time.
+
+Per cell the report records incremental write amplification (bytes the
+device absorbed during the measured op phase over user bytes written —
+the load phase is excluded, so the number is the steady-state marginal
+cost), wall-clock throughput, p99 op latencies from the engine's own
+histograms, **simulated device seconds** (the deterministic cost model
+the gates use — wall clock on shared CI runners is noise), and the
+runtime policy counters (``compactions_by_policy``, ``policy_switches``)
+that ``python -m repro.tools metrics --policy-report`` renders.
+
+The design-space claims the matrix reproduces:
+
+* **tiered** beats **leveled** on write-heavy mixes by >= 1.5x lower WA
+  (the overfill factor amortizes child rewrites; the ``--check`` gate),
+  while leveled wins p99 reads (fewer, sorted runs);
+* **lazy_leveled** sits between them: tiering's cheap upper-level merges
+  with a leveled last level for reads;
+* the **tuner** lands within 10% of the best static policy on the
+  hotspot-shift scenario *without knowing the shift schedule* (the second
+  ``--check`` gate, on simulated device seconds).  The burst scenario is
+  reported ungated: with phases much shorter than the hysteresis+cooldown
+  horizon, chasing every flip costs more than any static choice — the
+  flap-damping trade working as designed.
+
+Usage::
+
+    python benchmarks/perf/compaction_policies.py            # refresh JSON
+    python benchmarks/perf/compaction_policies.py --quick    # CI smoke
+    python benchmarks/perf/compaction_policies.py --check [--quick]
+"""
+
+from __future__ import annotations
+
+import bisect
+import platform
+import random
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[2]
+if str(ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(ROOT / "src"))
+if str(ROOT / "benchmarks" / "perf") not in sys.path:
+    sys.path.insert(0, str(ROOT / "benchmarks" / "perf"))
+
+BASELINE_PATH = ROOT / "BENCH_compaction_policies.json"
+
+#: Full-run acceptance bar: tiered WA on the write-heavy mix at least
+#: this factor below leveled's, and the generous CI-smoke floor.
+TARGET_WA_RATIO = 1.5
+CHECK_MIN_WA_RATIO = 1.2
+#: The tuner may cost at most this factor of the best static policy's
+#: simulated device seconds on the shifting scenarios.
+TUNER_COST_CEILING = 1.1
+
+POLICIES = ("leveled", "tiered", "lazy_leveled", "one_leveling")
+#: YCSB-flavoured operation mixes: (name, write fraction).
+MIXES = (("write_heavy", 0.95), ("balanced", 0.5), ("read_heavy", 0.05))
+SKEWS_FULL = (0.4, 0.99)
+SKEWS_QUICK = (0.99,)
+
+VALUE_SIZE = 100
+
+
+def _options(policy: str):
+    from repro.options import Options
+
+    # Small geometry so thousands of ops drive multi-level compaction, a
+    # deep-ish tree (multiplier 10, the paper's fanout regime) so the
+    # leveled-vs-tiered WA gap has room to show, and write-stall triggers
+    # raised so tiered's scaled L0 trigger (overfill x 4 files, capped at
+    # the slowdown trigger) is not parked at the stall line.
+    return Options(
+        block_size=1024,
+        sstable_size=8 * 1024,
+        memtable_size=8 * 1024,
+        max_levels=5,
+        level_size_multiplier=10,
+        level0_slowdown_writes_trigger=64,
+        level0_stop_writes_trigger=80,
+        compaction_policy=policy,
+        latency_histograms=True,
+    )
+
+
+def _zipf_cdf(keyspace: int, theta: float) -> list[float]:
+    """Cumulative Zipf(theta) weights over ``keyspace`` ranks."""
+    total = 0.0
+    cdf = []
+    for rank in range(1, keyspace + 1):
+        total += 1.0 / rank**theta
+        cdf.append(total)
+    return [weight / total for weight in cdf]
+
+
+def _make_ops(
+    *, ops: int, keyspace: int, write_frac: float, theta: float, seed: int,
+    hot_offset: int = 0,
+) -> list[tuple[str, int]]:
+    """One deterministic op sequence (shared by every policy arm).
+
+    Keys are Zipf(theta)-ranked; ``hot_offset`` rotates which keys are
+    the hot set, which is how the shift scenarios move the hotspot
+    without changing the skew."""
+    rng = random.Random(seed)
+    cdf = _zipf_cdf(keyspace, theta)
+    sequence = []
+    for _ in range(ops):
+        rank = bisect.bisect_left(cdf, rng.random())
+        key = (rank + hot_offset) % keyspace
+        op = "w" if rng.random() < write_frac else "r"
+        sequence.append((op, key))
+    return sequence
+
+
+def _shape(quick: bool) -> tuple[int, int]:
+    """``(measured ops, distinct keys)`` per cell."""
+    return (4000, 1500) if quick else (25000, 8000)
+
+
+def _run_cell(options, sequence, keyspace: int) -> dict:
+    """Load ``keyspace`` keys, settle, then run ``sequence`` measured.
+
+    WA and simulated seconds are deltas over the op phase only: the load
+    and its settling compactions cost the same under every policy (the
+    policy only starts steering once the measured ops run), so deltas
+    isolate each policy's marginal write cost.
+    """
+    from repro.core.db import DB
+    from repro.storage.fs import SimulatedFS
+
+    db = DB(SimulatedFS(), options, seed=7)
+    value = b"v" * VALUE_SIZE
+    for i in range(keyspace):
+        db.put(b"user%012d" % i, value)
+    db.compact_all()
+
+    stats = db.stats
+    user_before = stats.user_bytes_written
+    sst_before = stats.sst_bytes_written()
+    sim_before = db.io_stats.sim_time_s
+
+    start = time.perf_counter()
+    for op, key in sequence:
+        name = b"user%012d" % key
+        if op == "w":
+            db.put(name, value)
+        else:
+            db.get(name)
+    db.flush()
+    elapsed = time.perf_counter() - start
+
+    user_bytes = stats.user_bytes_written - user_before
+    sst_bytes = stats.sst_bytes_written() - sst_before
+    sim_s = db.io_stats.sim_time_s - sim_before
+
+    latency = db.latency.summary() if db.latency is not None else {}
+    entry = {
+        "policy": options.compaction_policy,
+        "ops": len(sequence),
+        "write_amplification": round(sst_bytes / user_bytes, 3) if user_bytes else 0.0,
+        "ops_per_sec": round(len(sequence) / elapsed, 1),
+        "sim_device_seconds": round(sim_s, 6),
+        "p99_write_us": _p99_us(latency, "put"),
+        "p99_read_us": _p99_us(latency, "get"),
+        "stall_events": stats.stall_events,
+        "policy_switches": stats.policy_switches,
+        "compactions_by_policy": dict(stats.compactions_by_policy),
+    }
+    db.close()
+    return entry
+
+
+def _p99_us(latency: dict, op: str) -> float | None:
+    summary = latency.get(op)
+    if not summary:
+        return None
+    p99_ms = summary.get("p99_ms")
+    return round(p99_ms * 1000, 1) if p99_ms is not None else None
+
+
+def run_matrix(quick: bool) -> dict:
+    """The static policies x mixes x skews grid."""
+    ops, keyspace = _shape(quick)
+    skews = SKEWS_QUICK if quick else SKEWS_FULL
+    scenarios: dict[str, dict] = {}
+    for mix_name, write_frac in MIXES:
+        for theta in skews:
+            sequence = _make_ops(
+                ops=ops, keyspace=keyspace, write_frac=write_frac,
+                theta=theta, seed=29,
+            )
+            for policy in POLICIES:
+                cell = _run_cell(_options(policy), sequence, keyspace)
+                cell["mix"] = mix_name
+                cell["zipf_theta"] = theta
+                name = f"{mix_name}/zipf{theta}/{policy}"
+                scenarios[name] = cell
+                print(
+                    f"  {name:<40} WA {cell['write_amplification']:>7.3f}"
+                    f"  {cell['ops_per_sec']:>9,.0f} op/s"
+                    f"  dev {cell['sim_device_seconds']:>8.3f}s"
+                )
+    return scenarios
+
+
+def _shift_sequences(quick: bool) -> dict[str, list[tuple[str, int]]]:
+    """The adaptive scenarios: op sequences whose character shifts."""
+    ops, keyspace = _shape(quick)
+    half = ops // 2
+    # Hotspot shift: a write-heavy phase over one hot set, then the mix
+    # flips read-heavy over a rotated hot set (a new region goes hot and
+    # reads chase it).  Statically, tiering wins the first half and
+    # leveling the second.
+    hotspot = _make_ops(
+        ops=half, keyspace=keyspace, write_frac=0.95, theta=0.99, seed=31,
+    ) + _make_ops(
+        ops=ops - half, keyspace=keyspace, write_frac=0.05, theta=0.99,
+        seed=37, hot_offset=keyspace // 2,
+    )
+    # Burst: alternating write bursts and read-mostly drains.
+    quarter = max(1, ops // 4)
+    burst: list[tuple[str, int]] = []
+    for index in range(4):
+        burst.extend(
+            _make_ops(
+                ops=quarter, keyspace=keyspace,
+                write_frac=0.95 if index % 2 == 0 else 0.1,
+                theta=0.99, seed=41 + index,
+            )
+        )
+    return {"hotspot_shift": hotspot, "burst": burst}
+
+
+def run_adaptive(quick: bool) -> dict:
+    """Static policies vs the tuner on the shifting workloads."""
+    _, keyspace = _shape(quick)
+    scenarios: dict[str, dict] = {}
+    summary: dict[str, dict] = {}
+    for scenario_name, sequence in _shift_sequences(quick).items():
+        costs: dict[str, float] = {}
+        for policy in POLICIES:
+            cell = _run_cell(_options(policy), sequence, keyspace)
+            cell["mix"] = scenario_name
+            scenarios[f"{scenario_name}/{policy}"] = cell
+            costs[policy] = cell["sim_device_seconds"]
+        # The tuner arm starts leveled and must discover the shifts from
+        # op-mix deltas alone; windows sized so several evaluations land
+        # inside each phase.
+        window = max(200, len(sequence) // 40)
+        tuned = _options("leveled").adaptive_compaction(
+            tuner_window_ops=window,
+            tuner_hysteresis_windows=2,
+            tuner_cooldown_ops=4 * window,
+        )
+        cell = _run_cell(tuned, sequence, keyspace)
+        cell["mix"] = scenario_name
+        cell["policy"] = "tuner"
+        scenarios[f"{scenario_name}/tuner"] = cell
+        best_policy = min(costs, key=costs.get)
+        ratio = (
+            round(cell["sim_device_seconds"] / costs[best_policy], 3)
+            if costs[best_policy]
+            else 0.0
+        )
+        summary[scenario_name] = {
+            "best_static": best_policy,
+            "best_static_device_seconds": costs[best_policy],
+            "tuner_device_seconds": cell["sim_device_seconds"],
+            "tuner_vs_best_static": ratio,
+            "tuner_switches": cell["policy_switches"],
+        }
+        print(
+            f"  {scenario_name:<16} best static {best_policy}"
+            f" ({costs[best_policy]:.3f} dev-s), tuner"
+            f" {cell['sim_device_seconds']:.3f} dev-s ({ratio}x,"
+            f" {cell['policy_switches']} switches)"
+        )
+    return {"scenarios": scenarios, "summary": summary}
+
+
+def run_suite(quick: bool) -> dict:
+    """The full matrix + adaptive scenarios; returns the JSON report."""
+    print(
+        f"compaction-policy benchmark ({'quick' if quick else 'full'} mode)"
+    )
+    scenarios = run_matrix(quick)
+    adaptive = run_adaptive(quick)
+    scenarios.update(adaptive["scenarios"])
+
+    skew = SKEWS_QUICK[0] if quick else SKEWS_FULL[0]
+    leveled = scenarios[f"write_heavy/zipf{skew}/leveled"]
+    tiered = scenarios[f"write_heavy/zipf{skew}/tiered"]
+    wa_ratio = (
+        round(leveled["write_amplification"] / tiered["write_amplification"], 3)
+        if tiered["write_amplification"]
+        else 0.0
+    )
+    tuner_hotspot = adaptive["summary"]["hotspot_shift"]["tuner_vs_best_static"]
+    print(
+        f"\n  tiered WA advantage on write-heavy: {wa_ratio}x"
+        f"   tuner vs best static on hotspot-shift: {tuner_hotspot}x"
+    )
+    return {
+        "meta": {
+            "python": platform.python_version(),
+            "quick": quick,
+            "policies": list(POLICIES),
+            "value_size": VALUE_SIZE,
+            "target_wa_ratio": TARGET_WA_RATIO,
+            "check_min_wa_ratio": CHECK_MIN_WA_RATIO,
+            "tuner_cost_ceiling": TUNER_COST_CEILING,
+        },
+        "scenarios": scenarios,
+        "adaptive": adaptive["summary"],
+        "wa_ratio_tiered_vs_leveled": wa_ratio,
+        "tuner_hotspot_vs_best_static": tuner_hotspot,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the suite; write the JSON report or gate on the CI floors."""
+    from harness import baseline_status, gate_speedup, perf_arg_parser, write_report
+
+    args = perf_arg_parser(__doc__, BASELINE_PATH).parse_args(argv)
+    report = run_suite(args.quick)
+    compared = baseline_status(report, args)
+    if args.check:
+        floor = CHECK_MIN_WA_RATIO if args.quick else TARGET_WA_RATIO
+        status = gate_speedup(
+            report, "wa_ratio_tiered_vs_leveled", floor,
+            "tiered WA advantage over leveled (write-heavy mix)",
+        )
+        hotspot = report["tuner_hotspot_vs_best_static"]
+        if hotspot > TUNER_COST_CEILING:
+            print(
+                f"\nFAIL: tuner device-seconds {hotspot}x of the best static "
+                f"policy on hotspot-shift exceeds the {TUNER_COST_CEILING}x "
+                f"ceiling"
+            )
+            status = 1
+        else:
+            print(
+                f"\nOK: tuner within {hotspot}x of the best static policy "
+                f"on hotspot-shift (ceiling {TUNER_COST_CEILING}x)"
+            )
+        return max(status, compared or 0)
+    if compared is not None:
+        return compared
+    return write_report(report, args.output)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

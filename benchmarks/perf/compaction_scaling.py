@@ -232,15 +232,19 @@ def run_suite(quick: bool) -> dict:
 
 def main(argv: list[str] | None = None) -> int:
     """Run the suite; write the JSON report or gate on the CI floor."""
-    from harness import gate_speedup, perf_arg_parser, write_report
+    from harness import baseline_status, gate_speedup, perf_arg_parser, write_report
 
     args = perf_arg_parser(__doc__, BASELINE_PATH).parse_args(argv)
     report = run_suite(args.quick)
     floor = CHECK_MIN_SPEEDUP_4W if args.quick else TARGET_SPEEDUP_4W
+    status = baseline_status(report, args)
     if args.check:
-        return gate_speedup(
+        gate = gate_speedup(
             report, "speedup_4w", floor, "offload speedup at 4 workers"
         )
+        return max(gate, status or 0)
+    if status is not None:
+        return status
     return write_report(report, args.output)
 
 

@@ -187,10 +187,11 @@ def run_suite(quick: bool) -> dict:
 
 def main(argv: list[str] | None = None) -> int:
     """Run the sweep; write the JSON report or gate on the CI floors."""
-    from harness import gate_speedup, perf_arg_parser, write_report
+    from harness import baseline_status, gate_speedup, perf_arg_parser, write_report
 
     args = perf_arg_parser(__doc__, BASELINE_PATH).parse_args(argv)
     report = run_suite(args.quick)
+    compared = baseline_status(report, args)
     if args.check:
         floor = CHECK_MIN_SPEEDUP_16K if args.quick else TARGET_SPEEDUP_16K
         status = gate_speedup(
@@ -204,7 +205,9 @@ def main(argv: list[str] | None = None) -> int:
                 f"the baseline's {cell['wa_baseline']} at 16 KiB values"
             )
             status = 1
-        return status
+        return max(status, compared or 0)
+    if compared is not None:
+        return compared
     return write_report(report, args.output)
 
 

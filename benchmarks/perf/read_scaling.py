@@ -234,15 +234,19 @@ def run_suite(quick: bool, value_size: int = 100) -> dict:
 
 def main(argv: list[str] | None = None) -> int:
     """Run the suite; write the JSON report or gate on the CI floor."""
-    from harness import gate_speedup, perf_arg_parser, write_report
+    from harness import baseline_status, gate_speedup, perf_arg_parser, write_report
 
     args = perf_arg_parser(__doc__, BASELINE_PATH).parse_args(argv)
     report = run_suite(args.quick, value_size=args.value_size)
     floor = CHECK_MIN_SPEEDUP_4T if args.quick else TARGET_SPEEDUP_4T
+    status = baseline_status(report, args)
     if args.check:
-        return gate_speedup(
+        gate = gate_speedup(
             report, "speedup_4t", floor, "lock-free read speedup at 4 threads"
         )
+        return max(gate, status or 0)
+    if status is not None:
+        return status
     return write_report(report, args.output)
 
 

@@ -252,11 +252,12 @@ def run_suite(quick: bool, value_size: int = 100) -> dict:
 
 def main(argv: list[str] | None = None) -> int:
     """Run the suite; write the JSON report or gate on the CI floor."""
-    from harness import gate_speedup, perf_arg_parser, write_report
+    from harness import baseline_status, gate_speedup, perf_arg_parser, write_report
 
     args = perf_arg_parser(__doc__, BASELINE_PATH).parse_args(argv)
     report = run_suite(args.quick, value_size=args.value_size)
     floor = CHECK_MIN_SPEEDUP_4S if args.quick else TARGET_SPEEDUP_4S
+    compared = baseline_status(report, args)
     if args.check:
         status = gate_speedup(
             report, "speedup_4s", floor, "sharded throughput at 4 shards"
@@ -264,7 +265,9 @@ def main(argv: list[str] | None = None) -> int:
         if report["rebalance"]["splits"] < 1:
             print("\nFAIL: shifting-hotspot scenario never split a shard")
             status = 1
-        return status
+        return max(status, compared or 0)
+    if compared is not None:
+        return compared
     return write_report(report, args.output)
 
 

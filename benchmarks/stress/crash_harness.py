@@ -25,6 +25,7 @@ from repro.tools.crashtest import (  # noqa: E402
     offload_overrides,
     run_crash_test,
     run_sharded_crash_test,
+    tuner_overrides,
 )
 
 REPORT = os.path.join(os.path.dirname(__file__), "..", "..", "BENCH_crash_consistency.json")
@@ -50,10 +51,16 @@ def main(argv: list[str] | None = None) -> int:
                         help="crash-test with key-value separation on "
                         "(padded values + tiny vlog geometry so GC fires "
                         "inside the crash schedule)")
+    parser.add_argument("--tuner", action="store_true",
+                        help="crash-test with the online compaction tuner on "
+                        "(tiny windows so live policy transitions land "
+                        "inside the crash schedule)")
     args = parser.parse_args(argv)
     if args.report == REPORT:
-        suffix = ("_sharded" if args.sharded else "") + (
-            "_kv" if args.kv_separation else ""
+        suffix = (
+            ("_sharded" if args.sharded else "")
+            + ("_kv" if args.kv_separation else "")
+            + ("_tuner" if args.tuner else "")
         )
         if suffix:
             args.report = REPORT.replace(".json", f"{suffix}.json")
@@ -63,6 +70,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.kv_separation:
         overrides.update(kv_separation_overrides())
         value_size = KV_SEPARATION_VALUE_SIZE
+    if args.tuner:
+        overrides.update(tuner_overrides())
 
     config = QUICK if args.quick else FULL
     runs = []
@@ -91,6 +100,7 @@ def main(argv: list[str] | None = None) -> int:
         "offload": args.offload,
         "sharded": args.sharded,
         "kv_separation": args.kv_separation,
+        "tuner": args.tuner,
         "total_points_tested": sum(len(r["points_tested"]) for r in runs),
         "passed": not failed,
         "runs": runs,

@@ -18,7 +18,16 @@ from .block_compaction import (
 from .lazy_deletion import DeletionManager
 from .parallel import SubtaskScheduler, lpt_makespan
 from .picker import CompactionPicker
+from .policy import (
+    CompactionPolicy,
+    LazyLeveledPolicy,
+    LeveledPolicy,
+    OneLevelingPolicy,
+    TieredPolicy,
+    make_policy,
+)
 from .selective import SelectiveDecision, decide, run_selective_compaction
+from .tuner import CompactionTuner, TunerDecision
 from .table_compaction import (
     build_output_tables,
     can_trivially_move,
@@ -42,6 +51,14 @@ __all__ = [
     "SubtaskScheduler",
     "lpt_makespan",
     "CompactionPicker",
+    "CompactionPolicy",
+    "LeveledPolicy",
+    "TieredPolicy",
+    "LazyLeveledPolicy",
+    "OneLevelingPolicy",
+    "make_policy",
+    "CompactionTuner",
+    "TunerDecision",
     "SelectiveDecision",
     "decide",
     "run_selective_compaction",

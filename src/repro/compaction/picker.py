@@ -1,6 +1,12 @@
 """Compaction picking: what to compact next, and why.
 
-Follows LevelDB's policy:
+The picker is the *stateful* half of picking — it owns the per-level
+round-robin compact pointers (journaled in the manifest) and the
+seek-compaction candidate set fed by the read path — while the *strategy*
+half (scoring, input selection, output placement, granularity) lives in a
+pluggable :class:`~repro.compaction.policy.CompactionPolicy`
+(DESIGN.md §14).  With the default :class:`LeveledPolicy` the combination
+reproduces LevelDB's behavior bit-for-bit:
 
 * **Size-triggered**: each level gets a score — L0 by file count against the
   trigger, deeper levels by live bytes against the exponential capacity.
@@ -14,6 +20,11 @@ Follows LevelDB's policy:
 
 L0 input selection expands to the transitive closure of overlapping L0
 files, since L0 files may overlap one another.
+
+Policies may be swapped live via :meth:`CompactionPicker.set_policy` (the
+online tuner's path).  Durable picker state — the compact pointers — stays
+on the picker across the swap, so a switch needs no manifest write; seek
+candidates the incoming policy would veto are dropped.
 """
 
 from __future__ import annotations
@@ -21,22 +32,50 @@ from __future__ import annotations
 from ..core.version import FileMetadata, Version
 from ..options import Options
 from .base import CompactionTask
+from .policy import CompactionPolicy, make_policy
 
 
 class CompactionPicker:
     """Stateful picker: owns the per-level compact pointers."""
 
-    def __init__(self, options: Options):
+    def __init__(self, options: Options, policy: CompactionPolicy | None = None):
         self._options = options
+        self._policy = (
+            policy
+            if policy is not None
+            else make_policy(options.compaction_policy, options)
+        )
         self.compact_pointer: list[bytes] = [b""] * options.max_levels
         #: Files flagged by the read path for seek compaction.
         self._seek_candidates: dict[int, int] = {}  # file_number -> level
+
+    # -- policy -------------------------------------------------------------------
+
+    @property
+    def policy(self) -> CompactionPolicy:
+        return self._policy
+
+    def set_policy(self, policy: CompactionPolicy) -> None:
+        """Swap the picking strategy live (the tuner's transition step).
+
+        The compact pointers survive as-is — they are positions in key
+        space, valid under any policy, and remain manifest-journaled.
+        Seek candidates at levels the incoming policy vetoes are dropped.
+        """
+        self._policy = policy
+        for file_number, level in list(self._seek_candidates.items()):
+            if not policy.allows_seek_compaction(level):
+                del self._seek_candidates[file_number]
 
     # -- seek compaction feedback -----------------------------------------------
 
     def note_seek_exhausted(self, level: int, meta: FileMetadata) -> None:
         """Read path callback: ``meta``'s seek budget ran out."""
-        if self._options.enable_seek_compaction and level < self._options.max_levels - 1:
+        if (
+            self._options.enable_seek_compaction
+            and level < self._options.max_levels - 1
+            and self._policy.allows_seek_compaction(level)
+        ):
             self._seek_candidates.setdefault(meta.file_number, level)
 
     def forget_file(self, file_number: int) -> None:
@@ -49,10 +88,7 @@ class CompactionPicker:
     # -- scoring ------------------------------------------------------------------
 
     def level_score(self, version: Version, level: int) -> float:
-        if level == 0:
-            return len(version.files_at(0)) / self._options.level0_file_trigger()
-        capacity = self._options.level_capacity_bytes(level)
-        return version.level_valid_bytes(level) / capacity if capacity else 0.0
+        return self._policy.level_score(version, level)
 
     def pick(self, version: Version) -> CompactionTask | None:
         """The next compaction task, or None when nothing is due."""
@@ -60,12 +96,13 @@ class CompactionPicker:
         best_score = 1.0
         # The bottom level has no child to compact into.
         for level in range(version.num_levels - 1):
-            score = self.level_score(version, level)
+            score = self._policy.level_score(version, level)
             if score >= best_score:
                 best_score = score
                 best_level = level
         if best_level >= 0:
-            return self._setup_task(version, best_level, reason="size")
+            parents = self._policy.select_parents(self, version, best_level)
+            return self._build_task(version, best_level, parents, reason="size")
         return self._pick_seek_compaction(version)
 
     def _pick_seek_compaction(self, version: Version) -> CompactionTask | None:
@@ -78,16 +115,9 @@ class CompactionPicker:
             del self._seek_candidates[file_number]
         return None
 
-    # -- input selection -------------------------------------------------------------
+    # -- input selection (machinery shared by policies) ---------------------------
 
-    def _setup_task(self, version: Version, level: int, reason: str) -> CompactionTask:
-        if level == 0:
-            parents = self._expand_level0(version)
-        else:
-            parents = [self._round_robin_file(version, level)]
-        return self._build_task(version, level, parents, reason)
-
-    def _round_robin_file(self, version: Version, level: int) -> FileMetadata:
+    def round_robin_file(self, version: Version, level: int) -> FileMetadata:
         """First file past the compact pointer, wrapping (LevelDB policy)."""
         files = version.files_at(level)
         pointer = self.compact_pointer[level]
@@ -96,7 +126,7 @@ class CompactionPicker:
                 return meta
         return files[0]
 
-    def _expand_level0(self, version: Version) -> list[FileMetadata]:
+    def expand_level0(self, version: Version) -> list[FileMetadata]:
         """Oldest L0 file plus the transitive closure of L0 overlaps."""
         files = sorted(version.files_at(0), key=lambda f: f.file_number)
         chosen = [files[0]]
@@ -119,7 +149,9 @@ class CompactionPicker:
     ) -> CompactionTask:
         lo = min(f.smallest_user_key for f in parents)
         hi = max(f.largest_user_key for f in parents)
-        children = version.overlapping_files(level + 1, lo, hi)
+        children = version.overlapping_files(
+            self._policy.output_level(version, level), lo, hi
+        )
         return CompactionTask(
             parent_level=level,
             parent_files=parents,

@@ -42,7 +42,9 @@ from ..compaction.lazy_deletion import DeletionManager
 from ..compaction.offload import OFFLOAD_NONE, OffloadPool
 from ..compaction.parallel import SubtaskScheduler
 from ..compaction.picker import CompactionPicker
+from ..compaction.policy import make_policy
 from ..compaction.selective import run_selective_compaction
+from ..compaction.tuner import CompactionTuner
 from ..compaction.table_compaction import (
     can_trivially_move,
     run_table_compaction,
@@ -93,23 +95,6 @@ from .write_batch import WriteBatch
 
 def _log_name(number: int) -> str:
     return f"{number:06d}.log"
-
-
-class _SchedulerPause:
-    """Context manager form of scheduler pause/resume (see
-    ``DB._background_paused``)."""
-
-    __slots__ = ("_scheduler",)
-
-    def __init__(self, scheduler: BackgroundScheduler):
-        self._scheduler = scheduler
-
-    def __enter__(self) -> "_SchedulerPause":
-        self._scheduler.pause()
-        return self
-
-    def __exit__(self, *exc) -> None:
-        self._scheduler.resume()
 
 
 _NULL_CONTEXT = nullcontext()
@@ -196,6 +181,11 @@ class DB:
             else TableCache(self.fs, self.options, tracer=self.tracer)
         )
         self.picker = CompactionPicker(self.options)
+        # Online policy tuner (DESIGN.md §14): None — the default — keeps
+        # every op path free of tuner branches beyond one attribute test.
+        self._tuner: CompactionTuner | None = (
+            CompactionTuner(self) if self.options.compaction_tuner else None
+        )
         self.deletion_manager = DeletionManager(
             self.fs, self.options, self.table_cache, self.block_cache, self.stats
         )
@@ -564,6 +554,8 @@ class DB:
                 self._hist_put.record(time.perf_counter() - start)
             if tracer.enabled:
                 tracer.end("write", "write")
+            if self._tuner is not None:
+                self._tuner.record_op()
 
     def _write_locked(self, batch: WriteBatch) -> None:
         if len(self.version.files_at(0)) >= self.options.level0_slowdown_writes_trigger:
@@ -1120,7 +1112,7 @@ class DB:
         scheduler = self._scheduler
         if scheduler is None or scheduler.on_worker_thread():
             return _NULL_CONTEXT
-        return _SchedulerPause(scheduler)
+        return scheduler.quiesce()
 
     def _background_work(self) -> None:
         """The background worker's round (see :class:`BackgroundScheduler`):
@@ -1204,12 +1196,19 @@ class DB:
         read-triggered reorganization is for.  This matches Selective
         Compaction's stated goal of keeping lower levels sorted for range
         queries.
+
+        Otherwise the policy's per-level granularity override (set by the
+        online tuner, DESIGN.md §14) wins, falling back to the engine-wide
+        ``Options.compaction_style`` — so the default leveled policy with
+        no overrides behaves exactly as before.
         """
         if task.parent_level == 0 or not task.child_files:
             return COMPACTION_TABLE
         if task.reason == "seek":
             return COMPACTION_TABLE
-        return self.options.compaction_style
+        return self.picker.policy.granularity_for(
+            task.child_level, self.options.compaction_style
+        )
 
     def _maybe_divert_task(self, task: CompactionTask) -> CompactionResult | None:
         """L2SM hook: return a result to bypass normal compaction.
@@ -1345,6 +1344,7 @@ class DB:
                 bytes_written=result.bytes_written,
                 input_files=len(task.parent_files) + len(task.child_files),
                 output_files=result.output_files,
+                policy=self.picker.policy.name,
             )
         )
         self._observe_space()
@@ -1373,6 +1373,55 @@ class DB:
                     raise InvalidArgumentError(
                         f"catalog references missing value-log file {name}"
                     )
+
+    def switch_compaction_policy(
+        self,
+        name: str,
+        *,
+        granularity: dict[int, str] | None = None,
+        reason: str = "",
+    ) -> bool:
+        """Swap the live compaction policy (the tuner's transition protocol,
+        DESIGN.md §14); returns True if anything changed.
+
+        Sequence: quiesce the background worker (counted pause/resume — any
+        in-flight compaction drains first, so no task built under the old
+        policy commits after the swap), then under the engine lock install
+        the new policy object and migrate picker state (compact pointers
+        survive untouched and stay manifest-journaled; seek candidates the
+        new policy vetoes are dropped), apply per-level granularity
+        overrides, and on resume nudge the scheduler — the new policy may
+        consider work due immediately.
+
+        The policy is deliberately NOT persisted: ``Options
+        .compaction_policy`` seeds the picker at open, so a crash here is
+        indistinguishable from a restart with the configured options and
+        recovery needs no new manifest record.
+        """
+        self._check_open()
+        changed = False
+        with self._background_paused():
+            with self._lock:
+                policy = self.picker.policy
+                if policy.name != name:
+                    policy = make_policy(name, self.options)
+                    self.picker.set_policy(policy)
+                    self.stats.policy_switches += 1
+                    changed = True
+                if granularity is not None and granularity != policy.granularity_overrides():
+                    for level in list(policy.granularity_overrides()):
+                        policy.set_granularity(level, None)
+                    for level, style in granularity.items():
+                        policy.set_granularity(level, style)
+                    changed = True
+                if changed and self.tracer.enabled:
+                    self.tracer.instant(
+                        "compaction.policy_switch", "compaction",
+                        {"policy": name, "reason": reason},
+                    )
+        if changed:
+            self._request_compaction()
+        return changed
 
     def compact_all(self) -> None:
         """Drain every level into the deepest non-empty level (manual full
@@ -1497,19 +1546,17 @@ class DB:
         # One critical section per call: the snapshot, sequence, and every
         # component probe resolve under a single lock acquisition (or, on
         # the lock-free path, a single superversion incref).
-        if self.latency is None:
-            if self._lock_free_reads:
-                return self._multi_get_superversion(checked, snapshot)
-            with self._lock:
-                return self._multi_get_locked(checked, snapshot)
-        start = time.perf_counter()
+        start = time.perf_counter() if self.latency is not None else 0.0
         try:
             if self._lock_free_reads:
                 return self._multi_get_superversion(checked, snapshot)
             with self._lock:
                 return self._multi_get_locked(checked, snapshot)
         finally:
-            self._hist_multi_get.record(time.perf_counter() - start)
+            if self.latency is not None:
+                self._hist_multi_get.record(time.perf_counter() - start)
+            if self._tuner is not None:
+                self._tuner.record_op()
 
     def _multi_get_locked(
         self, keys: list[bytes], snapshot: Snapshot | None
@@ -1958,19 +2005,17 @@ class DB:
         if not isinstance(key, (bytes, bytearray)):
             raise InvalidArgumentError("keys must be bytes")
         key = bytes(key)
-        if self.latency is None:
-            if self._lock_free_reads:
-                return self._get_superversion(key, default, snapshot)
-            with self._lock:
-                return self._get_locked(key, default, snapshot)
-        start = time.perf_counter()
+        start = time.perf_counter() if self.latency is not None else 0.0
         try:
             if self._lock_free_reads:
                 return self._get_superversion(key, default, snapshot)
             with self._lock:
                 return self._get_locked(key, default, snapshot)
         finally:
-            self._hist_get.record(time.perf_counter() - start)
+            if self.latency is not None:
+                self._hist_get.record(time.perf_counter() - start)
+            if self._tuner is not None:
+                self._tuner.record_op()
 
     def _get_locked(
         self, key: bytes, default: bytes | None, snapshot: Snapshot | None
@@ -2364,6 +2409,8 @@ class DB:
         self.stats.count_scan_entries(len(results))
         if self.latency is not None:
             self._hist_scan.record(time.perf_counter() - clock_start)
+        if self._tuner is not None:
+            self._tuner.record_op()
         return results
 
     def _on_flush(self, meta: FileMetadata) -> None:
@@ -2442,6 +2489,26 @@ class DB:
             f"compactions: table={s.table_compactions} block={s.block_compactions} "
             f"trivial={s.trivial_moves} seek-triggered={s.seek_triggered_compactions}"
         )
+        if self._tuner is not None or s.policy_switches or s.compactions_by_policy:
+            by_policy = " ".join(
+                f"{name}={count}"
+                for name, count in sorted(s.compactions_by_policy.items())
+            )
+            line = (
+                f"policy: current={self.picker.policy.name} "
+                f"switches={s.policy_switches}"
+            )
+            if by_policy:
+                line += f" by-policy: {by_policy}"
+            if self._tuner is not None:
+                state = self._tuner.debug_state()
+                line += (
+                    f" tuner: windows={state['windows']} "
+                    f"pending={state['pending'] or '-'}"
+                )
+                if state["last_reason"]:
+                    line += f" last={state['last_reason']!r}"
+            lines.append(line)
         lines.append(
             f"WA={s.write_amplification():.2f} "
             f"peak-space={s.max_space_bytes / 1024:.1f} KiB "

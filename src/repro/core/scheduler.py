@@ -282,6 +282,12 @@ class BackgroundScheduler:
                 self._work_due = True
                 self._cv.notify_all()
 
+    def quiesce(self) -> "SchedulerQuiesce":
+        """Context-manager form of :meth:`pause`/:meth:`resume` — the
+        drain-then-mutate protocol manual compactions and live policy
+        switches (DESIGN.md §14) share."""
+        return SchedulerQuiesce(self)
+
     def wake(self) -> None:
         """Signal that flush/compaction work may be due."""
         with self._cv:
@@ -377,6 +383,25 @@ class BackgroundScheduler:
                     tracer.end("bg.round", "background")
 
 
+class SchedulerQuiesce:
+    """Counted pause held as a context manager.  Works over anything with
+    the scheduler pause/resume surface (:class:`BackgroundScheduler` or a
+    :class:`SchedulerLane`), so callers quiesce a standalone worker and a
+    shared-executor lane through one protocol."""
+
+    __slots__ = ("_scheduler",)
+
+    def __init__(self, scheduler):
+        self._scheduler = scheduler
+
+    def __enter__(self) -> "SchedulerQuiesce":
+        self._scheduler.pause()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._scheduler.resume()
+
+
 class SchedulerLane:
     """One shard's view of a :class:`SharedBackgroundExecutor`.
 
@@ -445,6 +470,11 @@ class SchedulerLane:
             if self._paused == 0:
                 self._work_due = True
                 cv.notify_all()
+
+    def quiesce(self) -> SchedulerQuiesce:
+        """See :meth:`BackgroundScheduler.quiesce` — same protocol, lane
+        scope (only this shard's work drains)."""
+        return SchedulerQuiesce(self)
 
     def wait_idle(self, timeout: float | None = None) -> bool:
         cv = self._executor._cv

@@ -158,6 +158,20 @@ class Version:
                 deepest = level
         return deepest
 
+    def level_span(self, level: int) -> tuple[bytes, bytes] | None:
+        """User-key span covered by ``level`` (None when empty).  For
+        sorted levels (>= 1) this reads the edge files; L0 scans, since
+        its files overlap arbitrarily."""
+        files = self.levels[level]
+        if not files:
+            return None
+        if level > 0:
+            return files[0].smallest_user_key, files[-1].largest_user_key
+        return (
+            min(f.smallest_user_key for f in files),
+            max(f.largest_user_key for f in files),
+        )
+
     def overlapping_files(
         self, level: int, lo: bytes | None, hi: bytes | None
     ) -> list[FileMetadata]:

@@ -118,6 +118,37 @@ def _render_db(body: _Body, db, base: dict[str, str]) -> None:
                 f"{name}{_label_str({**base, 'level': str(level)})} {getter(level)}"
             )
 
+    # -- compaction policy + tuner (DESIGN.md §14) -------------------------
+    # The lifetime switch count exports via the DBStats loop above
+    # (``repro_policy_switches``); here the current policy rides an info
+    # gauge's label, and per-policy/per-reason compaction counters break
+    # the aggregate totals down the way the tuner's decisions shift them.
+    picker = getattr(db, "picker", None)
+    if picker is not None:
+        body.sample(
+            f"{_PREFIX}_compaction_policy_info", 1,
+            {**base, "policy": picker.policy.name},
+            kind="gauge",
+            help_="Active compaction policy (the label carries the name)",
+        )
+    name = f"{_PREFIX}_compactions_by_policy"
+    body.header(name, "counter", "Completed compactions per picking policy")
+    for policy_name in sorted(stats.compactions_by_policy):
+        body.lines.append(
+            f"{name}{_label_str({**base, 'policy': policy_name})}"
+            f" {stats.compactions_by_policy[policy_name]}"
+        )
+    reasons: dict[str, int] = {}
+    for event in stats.events:
+        if event.kind != "flush":
+            reasons[event.reason] = reasons.get(event.reason, 0) + 1
+    name = f"{_PREFIX}_compactions_by_reason"
+    body.header(name, "counter", "Completed compactions per trigger reason")
+    for reason in sorted(reasons):
+        body.lines.append(
+            f"{name}{_label_str({**base, 'reason': reason})} {reasons[reason]}"
+        )
+
     # -- value-log utilization (DESIGN.md §13) -----------------------------
     # One live/dead pair per registered vlog file, from the manifest's
     # garbage ledger; carries ``base`` labels, so the sharded exporter

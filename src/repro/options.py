@@ -25,6 +25,24 @@ COMPACTION_BLOCK = "block"
 COMPACTION_SELECTIVE = "selective"
 _COMPACTION_STYLES = (COMPACTION_TABLE, COMPACTION_BLOCK, COMPACTION_SELECTIVE)
 
+#: Compaction *policies* — the picking discipline, orthogonal to the
+#: granularity styles above (DESIGN.md §14).  ``leveled`` is LevelDB's
+#: score-and-round-robin policy (the default, and the behavior every
+#: paper figure uses); ``tiered`` lets levels overfill and merges them
+#: wholesale to trade read cost for write amplification; ``lazy_leveled``
+#: is tiered everywhere except the level feeding the last one (Dostoevsky's
+#: lazy leveling); ``one_leveling`` keeps all data in L0 + one sorted run.
+POLICY_LEVELED = "leveled"
+POLICY_TIERED = "tiered"
+POLICY_LAZY_LEVELED = "lazy_leveled"
+POLICY_ONE_LEVELING = "one_leveling"
+_COMPACTION_POLICIES = (
+    POLICY_LEVELED,
+    POLICY_TIERED,
+    POLICY_LAZY_LEVELED,
+    POLICY_ONE_LEVELING,
+)
+
 #: Bloom filter placement.  ``block`` keeps one filter per data block and
 #: stores per-block offsets (LevelDB 1.20); ``table`` keeps one filter per
 #: SSTable (RocksDB-style full filters, also used by L2SM and BlockDB).
@@ -161,6 +179,35 @@ class Options:
     seek_compaction_min_seeks: int = 100
     enable_trivial_move: bool = True
     selective_thresholds: list[SelectiveThresholds] = field(default_factory=list)
+
+    # --- Compaction policy + online tuner (DESIGN.md §14) -----------------------
+    #: Picking discipline: which level compacts next and with which inputs.
+    #: ``leveled`` (the default) is today's LevelDB-style picker,
+    #: bit-identical to the pre-policy engine; ``tiered``, ``lazy_leveled``
+    #: and ``one_leveling`` trade read cost for write amplification.  The
+    #: policy is a property of the *open*, not the store: any policy can
+    #: read any store, because every policy maintains the same disjoint
+    #: per-level invariant (tiering is expressed as overfill-then-merge).
+    compaction_policy: str = POLICY_LEVELED
+    #: Tiered policies let a level grow to ``tiered_overfill`` x its leveled
+    #: capacity before merging the whole level down — the write/read knob.
+    tiered_overfill: float = 4.0
+    #: Run the online workload tuner: watch the operation mix, stall and
+    #: seek feedback over a sliding window and switch ``compaction_policy``
+    #: (and per-level granularity) live as the workload shifts.  Off by
+    #: default: the static policy keeps the engine deterministic.
+    compaction_tuner: bool = False
+    #: Operations (puts + gets + scans) per tuner evaluation window.
+    tuner_window_ops: int = 2000
+    #: Consecutive windows that must agree on a different policy before the
+    #: tuner switches (hysteresis against oscillating workloads).
+    tuner_hysteresis_windows: int = 2
+    #: Minimum operations between two policy switches (cooldown).
+    tuner_cooldown_ops: int = 4000
+    #: Let the tuner also retarget per-level block-vs-table granularity
+    #: (write-heavy -> block appends at middle levels, read-heavy -> table
+    #: rewrites everywhere) on top of the policy switch.
+    tuner_adapt_granularity: bool = True
 
     # --- Concurrency (DESIGN.md §7) -------------------------------------------
     #: Run flushes and compactions on a background worker thread instead of
@@ -308,6 +355,16 @@ class Options:
             raise InvalidArgumentError("max_levels must be in [2, 16]")
         if self.compaction_style not in _COMPACTION_STYLES:
             raise InvalidArgumentError(f"unknown compaction_style {self.compaction_style!r}")
+        if self.compaction_policy not in _COMPACTION_POLICIES:
+            raise InvalidArgumentError(f"unknown compaction_policy {self.compaction_policy!r}")
+        if self.tiered_overfill < 1.0:
+            raise InvalidArgumentError("tiered_overfill must be >= 1")
+        if self.tuner_window_ops < 1:
+            raise InvalidArgumentError("tuner_window_ops must be >= 1")
+        if self.tuner_hysteresis_windows < 1:
+            raise InvalidArgumentError("tuner_hysteresis_windows must be >= 1")
+        if self.tuner_cooldown_ops < 0:
+            raise InvalidArgumentError("tuner_cooldown_ops must be >= 0")
         if self.filter_policy not in _FILTER_POLICIES:
             raise InvalidArgumentError(f"unknown filter_policy {self.filter_policy!r}")
         if self.compression not in _COMPRESSIONS:
@@ -396,6 +453,14 @@ class Options:
         and the LSM stores fixed-size pointers, cutting compaction write
         amplification in the large-value regime."""
         params: dict = dict(kv_separation=True)
+        params.update(overrides)
+        return self.copy(**params)
+
+    def adaptive_compaction(self, **overrides) -> "Options":
+        """Copy with the online compaction tuner enabled (DESIGN.md §14):
+        the engine starts on ``compaction_policy`` and switches policy and
+        per-level granularity live as the observed workload shifts."""
+        params: dict = dict(compaction_tuner=True)
         params.update(overrides)
         return self.copy(**params)
 

@@ -6,6 +6,7 @@ Usage::
     python -m repro.tools <store-dir> --manifest
     python -m repro.tools metrics <store-dir>
     python -m repro.tools metrics --cache-report BENCH_read_scaling.json
+    python -m repro.tools metrics --policy-report BENCH_compaction_policies.json
     python -m repro.tools timeline <trace.jsonl> [--json] [--width N] [--fs]
     python -m repro.tools crashtest [--quick] [--json PATH]
 
@@ -27,6 +28,7 @@ from ..obs.timeline import build_spans, load_events, render_timeline, spans_to_j
 from ..storage.fs import LocalFS
 from .metrics_report import (
     format_cache_report,
+    format_policy_report,
     format_sharded_store_report,
     format_store_report,
     is_sharded_store,
@@ -70,6 +72,12 @@ def build_metrics_parser() -> argparse.ArgumentParser:
         help="render per-shard cache counters from a read-scaling "
         "benchmark report (BENCH_read_scaling.json) instead of a store",
     )
+    parser.add_argument(
+        "--policy-report",
+        metavar="PATH",
+        help="render per-policy compaction counters from a policy-matrix "
+        "benchmark report (BENCH_compaction_policies.json) instead of a store",
+    )
     return parser
 
 
@@ -94,18 +102,27 @@ def build_timeline_parser() -> argparse.ArgumentParser:
 
 def _run_metrics(argv: list[str]) -> int:
     args = build_metrics_parser().parse_args(argv)
-    if args.cache_report:
+    for path, formatter in (
+        (args.cache_report, format_cache_report),
+        (args.policy_report, format_policy_report),
+    ):
+        if not path:
+            continue
         try:
-            with open(args.cache_report, encoding="utf-8") as handle:
+            with open(path, encoding="utf-8") as handle:
                 data = json.load(handle)
-            report = format_cache_report(data)
+            report = formatter(data)
         except (OSError, ValueError) as exc:
             print(exc, file=sys.stderr)
             return 2
         print(report)
         return 0
     if not args.store:
-        print("either a store directory or --cache-report is required", file=sys.stderr)
+        print(
+            "either a store directory, --cache-report, or --policy-report "
+            "is required",
+            file=sys.stderr,
+        )
         return 2
     try:
         if is_sharded_store(args.store):

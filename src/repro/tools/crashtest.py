@@ -732,6 +732,12 @@ def build_crashtest_parser():
                         "on (tiny vlog threshold/file size + padded values, "
                         "so crash points land inside vlog append, head-roll "
                         "registration, and GC rewrite/journal windows)")
+    parser.add_argument("--tuner", action="store_true",
+                        help="run every harness DB with the online compaction "
+                        "tuner on (tiny windows, zero cooldown), so crash "
+                        "points land around live policy transitions — "
+                        "quiesce, policy swap, and the post-switch "
+                        "compaction burst")
     parser.add_argument("--json", metavar="PATH",
                         help="also write the full report as JSON")
     return parser
@@ -756,6 +762,24 @@ def kv_separation_overrides() -> dict:
         "kv_separation_threshold": 24,
         "vlog_file_size": 1024,
         "vlog_gc_ratio": 0.3,
+    }
+
+
+def tuner_overrides() -> dict:
+    """Options overrides for crash-testing live policy transitions.
+
+    Tiny windows, single-window hysteresis, and zero cooldown make the
+    tuner switch policies every few ops of the harness workload, so the
+    crash schedule's sync points fall inside and around the transition
+    protocol: the scheduler quiesce, the under-lock policy swap, and the
+    compaction the switch requests.  Policies are not persisted, so every
+    recovery must come up cleanly on the *configured* policy regardless of
+    what the tuner had switched to at the crash point."""
+    return {
+        "compaction_tuner": True,
+        "tuner_window_ops": 8,
+        "tuner_hysteresis_windows": 1,
+        "tuner_cooldown_ops": 0,
     }
 
 
@@ -784,6 +808,8 @@ def run_crashtest_cli(argv: list[str]) -> int:
     if args.kv_separation:
         overrides.update(kv_separation_overrides())
         value_size = KV_SEPARATION_VALUE_SIZE
+    if args.tuner:
+        overrides.update(tuner_overrides())
     if args.sharded:
         report = run_sharded_crash_test(
             num_ops=num_ops,

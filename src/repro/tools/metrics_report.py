@@ -13,6 +13,7 @@ CLI::
     python -m repro.tools metrics <store-dir>
     python -m repro.tools metrics <sharded-store-root>
     python -m repro.tools metrics --cache-report BENCH_read_scaling.json
+    python -m repro.tools metrics --policy-report BENCH_compaction_policies.json
 
 A sharded store root (a ``LocalShardStore`` directory, recognized by its
 ``_router/`` catalog) is replayed shard by shard: the report aggregates
@@ -20,7 +21,10 @@ every shard's per-level storage with a per-shard breakdown table keyed by
 the router's committed map.  The ``--cache-report`` form renders the
 per-shard cache hit/miss counters a benchmark report captured
 (``benchmarks/perf/read_scaling.py``) — cache state is runtime-only, so
-it travels via the report JSON rather than the manifest.
+it travels via the report JSON rather than the manifest.  The
+``--policy-report`` form does the same for compaction-policy counters
+(per-policy compaction breakdown, tuner switches) captured by
+``benchmarks/perf/compaction_policies.py``.
 """
 
 from __future__ import annotations
@@ -388,5 +392,63 @@ def format_cache_report(report: dict) -> str:
         lines.append(
             "lock-free speedup vs locked 1-thread baseline: "
             + "  ".join(f"{k.removeprefix('speedup_')}={v}x" for k, v in speedups.items())
+        )
+    return "\n".join(lines)
+
+
+def format_policy_report(report: dict) -> str:
+    """Per-policy compaction breakdown from a policy-matrix benchmark report.
+
+    ``report`` is the parsed ``BENCH_compaction_policies.json`` dict
+    (``benchmarks/perf/compaction_policies.py``); each scenario carries the
+    configured policy, write amplification, throughput, and the runtime
+    counters the manifest never persists: completed compactions per
+    picking policy (``compactions_by_policy``) and the tuner's lifetime
+    switch count.  The per-policy column shows which policies actually ran
+    the work — for static scenarios a single name, for tuner scenarios the
+    mix its switches produced.
+    """
+    scenarios = report.get("scenarios")
+    if not isinstance(scenarios, dict) or not scenarios:
+        raise ValueError(
+            "report has no 'scenarios' section: not a compaction-policies report"
+        )
+
+    rows = []
+    for name, entry in scenarios.items():
+        by_policy = entry.get("compactions_by_policy") or {}
+        breakdown = (
+            " ".join(f"{k}={v}" for k, v in sorted(by_policy.items())) or "-"
+        )
+        wa = entry.get("write_amplification")
+        rows.append(
+            [
+                name,
+                entry.get("policy", "-"),
+                f"{wa:.3f}" if isinstance(wa, (int, float)) else "-",
+                entry.get("ops_per_sec", "-"),
+                entry.get("p99_write_us", "-"),
+                entry.get("policy_switches", 0),
+                breakdown,
+            ]
+        )
+    table_text = format_table(
+        [
+            "scenario", "policy", "WA", "ops/s", "p99 write us",
+            "switches", "compactions by policy",
+        ],
+        rows,
+        title="Compaction-policy counters (from benchmark report)",
+    )
+
+    lines = [table_text]
+    ratios = {k: v for k, v in report.items() if k.startswith("wa_ratio_")}
+    if ratios:
+        lines.append("")
+        lines.append(
+            "WA ratios vs leveled baseline: "
+            + "  ".join(
+                f"{k.removeprefix('wa_ratio_')}={v}x" for k, v in sorted(ratios.items())
+            )
         )
     return "\n".join(lines)
