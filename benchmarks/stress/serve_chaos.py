@@ -1,0 +1,69 @@
+"""Serving chaos stress driver (CI's ``serving-robustness`` job).
+
+Thin front-end over :mod:`repro.tools.servechaos`: runs composed
+network+disk fault schedules against the serving front end, writes
+``BENCH_serve_chaos.json`` at the repo root, and exits non-zero on any
+invariant violation (acked-write loss, leaked handler/thread, cancelled
+in-flight request on clean drain, failed degrade→resume, or a reset that
+tore an error reply away from a pipelined connection).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/stress/serve_chaos.py          # full (240)
+    PYTHONPATH=src python benchmarks/stress/serve_chaos.py --quick  # CI (24)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "..", "src"))
+
+from repro.tools.servechaos import run_serve_chaos  # noqa: E402
+
+REPORT = os.path.join(os.path.dirname(__file__), "..", "..", "BENCH_serve_chaos.json")
+
+#: Schedule counts per mode.  Full mode satisfies the acceptance floor of
+#: >= 200 composed schedules.
+FULL_SCHEDULES = 240
+QUICK_SCHEDULES = 24
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI smoke size")
+    parser.add_argument("--schedules", type=int, default=None, metavar="N",
+                        help="override the schedule count")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--report", default=REPORT, metavar="PATH")
+    args = parser.parse_args(argv)
+
+    num = args.schedules
+    if num is None:
+        num = QUICK_SCHEDULES if args.quick else FULL_SCHEDULES
+    report = run_serve_chaos(num, seed=args.seed)
+    report["mode"] = "quick" if args.quick else "full"
+    with open(args.report, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+    print(
+        f"{report['schedules']} schedules, "
+        f"{report['acked_writes_audited']} acked writes audited "
+        f"({report['acked_writes_lost']} lost), "
+        f"{report['degrade_events']} degrade->resume cycles, "
+        f"{report['cancelled_inflight']} cancelled in-flight, "
+        f"{report['leaked_tasks']}+{report['leaked_threads']} leaks, "
+        f"{report['reset_races']} reset races"
+    )
+    print(f"report: {os.path.abspath(args.report)}")
+    if not report["passed"]:
+        print(f"FAIL: {report['failed_schedules']} schedule(s) violated an invariant")
+        return 1
+    print("OK: all invariants held")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

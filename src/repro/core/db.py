@@ -852,12 +852,20 @@ class DB:
         return meta
 
     def _flush_locked(self) -> FileMetadata | None:
+        # A hard flush failure degrades the DB with the frozen memtable
+        # still pending in ``_immutable`` (its WAL still on disk guarding
+        # it).  Land that leftover before freezing again — ``_freeze_locked``
+        # would silently replace it, losing acked writes whose log the
+        # manifest's rotated log_number no longer replays.
+        self._error_handler.check_writable()
+        self._drain_immutable_locked()
         if len(self._memtable) == 0:
             return None
-        self._error_handler.check_writable()
-        old_log = self._freeze_locked()
+        self._pending_log = self._freeze_locked()
         meta = self._retry_transient(self._build_flush, "flush")
-        return self._commit_flush_locked(meta, old_log)
+        result = self._commit_flush_locked(meta, self._pending_log)
+        self._pending_log = None
+        return result
 
     def _retry_transient(self, fn, context: str):
         """Synchronous-mode analogue of the background worker's retry loop:

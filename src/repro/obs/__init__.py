@@ -19,7 +19,11 @@ engine built without this package.
 """
 
 from .histogram import HistogramSnapshot, LatencyHistogram, LatencyRegistry
-from .prom import render_prometheus, render_prometheus_sharded
+from .prom import (
+    render_prometheus,
+    render_prometheus_serve,
+    render_prometheus_sharded,
+)
 from .timeline import Span, build_spans, load_events, render_timeline, spans_to_json
 from .trace import NULL_TRACER, NullTracer, TraceEvent, Tracer
 
@@ -35,6 +39,7 @@ __all__ = [
     "build_spans",
     "load_events",
     "render_prometheus",
+    "render_prometheus_serve",
     "render_prometheus_sharded",
     "render_timeline",
     "spans_to_json",

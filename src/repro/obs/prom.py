@@ -274,6 +274,65 @@ def render_prometheus(db) -> str:
     return body.text()
 
 
+def render_prometheus_serve(server) -> str:
+    """One scrape body for a :class:`~repro.serve.server.ShardServer`.
+
+    Serving-layer series (requests per opcode, in-flight per admission
+    class, shed/deadline/error counters, connection + drain gauges) come
+    first, then the underlying engine's series — per shard when the server
+    fronts a ``ShardedDB``, unlabeled for a standalone DB — so one scrape
+    covers the whole process.
+    """
+    body = _Body()
+    counters = server.serve_counters()
+    name = f"{_PREFIX}_serve_requests"
+    body.header(name, "counter", "Requests dispatched, by opcode")
+    for op in sorted(counters["requests"]):
+        body.lines.append(
+            f"{name}{_label_str({'op': op})} {counters['requests'][op]}"
+        )
+    name = f"{_PREFIX}_serve_inflight"
+    body.header(name, "gauge", "In-flight requests, by admission class")
+    for klass in sorted(counters["inflight"]):
+        body.lines.append(
+            f"{name}{_label_str({'class': klass})} {counters['inflight'][klass]}"
+        )
+    body.sample(
+        f"{_PREFIX}_serve_shed", counters["shed"],
+        help_="Requests shed by admission control (STATUS_RETRY_LATER)",
+    )
+    body.sample(
+        f"{_PREFIX}_serve_deadline_exceeded", counters["deadline_exceeded"],
+        help_="Requests that ran out of deadline budget",
+    )
+    body.sample(
+        f"{_PREFIX}_serve_protocol_errors", counters["protocol_errors"],
+        help_="Connections terminated for malformed frames",
+    )
+    body.sample(
+        f"{_PREFIX}_serve_engine_errors", counters["engine_errors"],
+        help_="Requests answered with an engine error status",
+    )
+    body.sample(
+        f"{_PREFIX}_serve_cancelled_inflight", counters["cancelled_inflight"],
+        help_="In-flight requests cancelled by a drain-timeout expiry",
+    )
+    body.sample(
+        f"{_PREFIX}_serve_connections", counters["connections"], kind="gauge",
+        help_="Open client connections",
+    )
+    body.sample(
+        f"{_PREFIX}_serve_draining", int(counters["draining"]), kind="gauge",
+        help_="1 while the server is draining for shutdown",
+    )
+    if hasattr(server.db, "shard_dbs"):
+        for shard_name, shard_db in server.db.shard_dbs():
+            _render_db(body, shard_db, {"shard": shard_name})
+    else:
+        _render_db(body, server.db, {})
+    return body.text()
+
+
 def render_prometheus_sharded(sharded_db) -> str:
     """One scrape body for every shard of a ``ShardedDB``.
 

@@ -1,10 +1,16 @@
 """``python -m repro.serve``: run the sharded engine behind the asyncio
-front end on a local directory store."""
+front end on a local directory store.
+
+Shutdown is graceful by default: SIGINT/SIGTERM stops accepting, drains
+in-flight requests under ``--drain-timeout``, flushes the shards, then
+exits (DESIGN.md §15)."""
 
 from __future__ import annotations
 
 import argparse
 import asyncio
+import contextlib
+import signal
 
 from ..options import Options
 from ..sharding import LocalShardStore, ShardedDB
@@ -29,12 +35,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--auto-rebalance", action="store_true",
         help="enable threshold-driven shard split/merge",
     )
+    parser.add_argument(
+        "--no-admission-control", action="store_true",
+        help="disable in-flight bounds and stall-pressure write shedding "
+        "(overload then queues unboundedly into the executor)",
+    )
+    parser.add_argument(
+        "--max-inflight-writes", type=int, default=None, metavar="N",
+        help="admission bound on concurrent write-class requests "
+        "(default 4x executor threads)",
+    )
+    parser.add_argument(
+        "--max-inflight-reads", type=int, default=None, metavar="N",
+        help="admission bound on concurrent read-class requests "
+        "(default 16x executor threads)",
+    )
+    parser.add_argument(
+        "--drain-timeout", type=float, default=10.0, metavar="SECONDS",
+        help="graceful-shutdown budget for in-flight requests",
+    )
+    parser.add_argument(
+        "--default-deadline-ms", type=int, default=None, metavar="MS",
+        help="budget applied to requests that carry no deadline of their own",
+    )
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     """Open (or create) the sharded store at ``--root`` and serve it
-    until interrupted."""
+    until interrupted, then drain gracefully."""
     args = build_parser().parse_args(argv)
     options = Options().concurrent_pipeline()
     store = LocalShardStore(args.root)
@@ -42,17 +71,35 @@ def main(argv: list[str] | None = None) -> int:
         store, options, shards=args.shards, auto_rebalance=args.auto_rebalance
     )
     server = ShardServer(
-        db, args.host, args.port, executor_threads=args.executor_threads
+        db, args.host, args.port,
+        executor_threads=args.executor_threads,
+        admission_control=not args.no_admission_control,
+        max_inflight_writes=args.max_inflight_writes,
+        max_inflight_reads=args.max_inflight_reads,
+        drain_timeout=args.drain_timeout,
+        default_deadline_ms=args.default_deadline_ms,
     )
 
     async def run() -> None:
+        """Serve until SIGINT/SIGTERM, then drain gracefully."""
         await server.start()
         print(f"repro.serve listening on {server.host}:{server.port} "
               f"({db.num_shards} shards)")
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            with contextlib.suppress(NotImplementedError):
+                loop.add_signal_handler(sig, stop.set)
+        serve_task = asyncio.ensure_future(server.serve_forever())
         try:
-            await server.serve_forever()
-        except asyncio.CancelledError:
-            pass
+            await stop.wait()
+        finally:
+            print("draining...")
+            serve_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await serve_task
+            await server.aclose()
+            print(f"drained (cancelled in-flight: {server.cancelled_inflight})")
 
     try:
         asyncio.run(run())

@@ -4,30 +4,108 @@ One :class:`ServeClient` is one connection; requests on a connection are
 pipelined FIFO (the server responds in order).  Open many clients to
 exercise the server's cross-connection batching — that is exactly what
 the group-commit amortization test does.
+
+The client is fault-transparent (DESIGN.md §15): it propagates per-request
+deadlines into the wire frame, retries ``STATUS_RETRY_LATER`` responses
+with capped exponential backoff plus jitter — sleeping at least the
+server's suggested ``retry_after_ms`` hint — reconnects through transport
+failures, and trips a per-connection circuit breaker after consecutive
+transport failures so a dead server costs one fast
+:class:`CircuitOpenError` instead of a connect timeout per request.
+
+Status → exception mapping (all subclasses of :class:`ServeError`):
+
+=========================  ===============================================
+``STATUS_ERROR``           :class:`ServeError` — permanent, never retried
+``STATUS_RETRY_LATER``     retried; :class:`RetryLaterError` once retries
+                           are exhausted (``retry_after_ms`` attached)
+``STATUS_UNAVAILABLE``     :class:`UnavailableError` — the engine is in
+                           read-only degrade; writes need an operator
+                           ``resume()``, so they are not retried by default
+``STATUS_DEADLINE_...``    :class:`DeadlineExceededError` — the budget is
+                           spent; retrying would spend a fresh one, which
+                           is the caller's decision
+=========================  ===============================================
 """
 
 from __future__ import annotations
 
 import asyncio
+import json
+import random
 
 from . import protocol as p
 
 
 class ServeError(Exception):
-    """The server answered STATUS_ERROR."""
+    """The server answered an error status (permanent unless subclassed)."""
+
+
+class RetryLaterError(ServeError):
+    """The server shed the request; retries (if any) were exhausted."""
+
+    def __init__(self, message: str, retry_after_ms: int = 0):
+        super().__init__(message)
+        self.retry_after_ms = retry_after_ms
+
+
+class UnavailableError(ServeError):
+    """The engine is in degraded (read-only) mode; writes are refused."""
+
+
+class DeadlineExceededError(ServeError):
+    """The request's deadline budget expired before the work finished."""
+
+
+class CircuitOpenError(ServeError):
+    """The circuit breaker is open: recent transport failures exceeded the
+    threshold and the cooldown has not elapsed — fail fast, do not dial."""
 
 
 class ServeClient:
-    """One connection speaking the length-prefixed binary protocol."""
+    """One connection speaking the length-prefixed binary protocol.
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0):
+    ``deadline_ms`` is the default per-request budget propagated in every
+    frame (override per call); ``max_retries`` bounds the RETRY_LATER /
+    reconnect loop; the breaker opens after ``breaker_threshold``
+    consecutive transport failures and half-opens (one trial request)
+    after ``breaker_cooldown_s``.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        deadline_ms: int | None = None,
+        max_retries: int = 4,
+        backoff_base_s: float = 0.02,
+        backoff_cap_s: float = 1.0,
+        breaker_threshold: int = 5,
+        breaker_cooldown_s: float = 1.0,
+        seed: int | None = None,
+    ):
         self.host = host
         self.port = port
+        self.deadline_ms = deadline_ms
+        self.max_retries = max_retries
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown_s = breaker_cooldown_s
+        self._rng = random.Random(seed)
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
         # FIFO pipelining: one in-flight request per await point, but a
         # single lock keeps concurrent tasks on one client well-ordered.
         self._lock = asyncio.Lock()
+        #: Consecutive transport failures (breaker input).
+        self._failures = 0
+        #: Monotonic time before which the breaker refuses to dial.
+        self._open_until = 0.0
+        #: Lifetime counters (chaos harness + tests read these).
+        self.retries = 0
+        self.breaker_trips = 0
 
     async def connect(self) -> "ServeClient":
         self._reader, self._writer = await asyncio.open_connection(
@@ -40,41 +118,143 @@ class ServeClient:
             self._writer.close()
             try:
                 await self._writer.wait_closed()
-            except ConnectionError:
+            except (ConnectionError, OSError):
                 pass
             self._writer = None
             self._reader = None
 
+    @property
+    def connected(self) -> bool:
+        return self._writer is not None
+
+    # -- transport with breaker --------------------------------------------
+
+    def _breaker_check(self) -> None:
+        if self._failures < self.breaker_threshold:
+            return
+        now = asyncio.get_running_loop().time()
+        if now < self._open_until:
+            raise CircuitOpenError(
+                f"circuit open after {self._failures} consecutive transport "
+                f"failures; retry after {self._open_until - now:.2f}s"
+            )
+        # Half-open: let exactly this request through as the trial.
+
+    def _record_transport_failure(self) -> None:
+        self._failures += 1
+        if self._failures >= self.breaker_threshold:
+            loop = asyncio.get_running_loop()
+            if loop.time() >= self._open_until:
+                self.breaker_trips += 1
+            self._open_until = loop.time() + self.breaker_cooldown_s
+
     async def _request(self, frame: bytes) -> tuple[int, bytes]:
+        """One raw attempt: send ``frame``, read one response, map status.
+
+        No retries at this layer — :meth:`_call` owns the retry loop; the
+        protocol-level tests drive this directly.
+        """
+        self._breaker_check()
         async with self._lock:
-            self._writer.write(frame)
-            await self._writer.drain()
-            header = await self._reader.readexactly(4)
-            length = int.from_bytes(header, "big")
-            body = await self._reader.readexactly(length)
+            if self._writer is None:
+                await self.connect()
+            try:
+                self._writer.write(frame)
+                await self._writer.drain()
+                header = await self._reader.readexactly(4)
+                length = int.from_bytes(header, "big")
+                body = await self._reader.readexactly(length)
+            except (ConnectionError, asyncio.IncompleteReadError, OSError):
+                # The connection is unusable: framing state is unknown.
+                self._record_transport_failure()
+                await self._reset_connection()
+                raise
+        self._failures = 0
         status, payload = p.decode_body(body)
         if status == p.STATUS_ERROR:
             raise ServeError(payload.decode("utf-8", "replace"))
+        if status == p.STATUS_UNAVAILABLE:
+            raise UnavailableError(payload.decode("utf-8", "replace"))
+        if status == p.STATUS_DEADLINE_EXCEEDED:
+            raise DeadlineExceededError(payload.decode("utf-8", "replace"))
         return status, payload
+
+    async def _reset_connection(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        self._writer = None
+        self._reader = None
+
+    async def _call(self, frame: bytes) -> tuple[int, bytes]:
+        """The retry loop: transport failures reconnect, RETRY_LATER sleeps
+        max(server hint, jittered exponential backoff) and tries again."""
+        attempt = 0
+        while True:
+            try:
+                status, payload = await self._request(frame)
+            except (ConnectionError, asyncio.IncompleteReadError, OSError) as exc:
+                if attempt >= self.max_retries:
+                    raise ServeError(f"transport failure: {exc!r}") from exc
+                await self._sleep_backoff(attempt, 0)
+                attempt += 1
+                self.retries += 1
+                continue
+            if status != p.STATUS_RETRY_LATER:
+                return status, payload
+            retry_after_ms, message = p.decode_retry_hint(payload)
+            if attempt >= self.max_retries:
+                raise RetryLaterError(
+                    message or "server shed the request", retry_after_ms
+                )
+            await self._sleep_backoff(attempt, retry_after_ms)
+            attempt += 1
+            self.retries += 1
+
+    async def _sleep_backoff(self, attempt: int, hint_ms: int) -> None:
+        """Exponential backoff with full jitter, floored at the server
+        hint: the hint is the server's view of when capacity returns, the
+        jitter is what keeps a thousand shed clients from returning in one
+        synchronized wave."""
+        backoff = min(self.backoff_base_s * (2 ** attempt), self.backoff_cap_s)
+        delay = max(hint_ms / 1000.0, backoff * self._rng.random())
+        if delay > 0:
+            await asyncio.sleep(delay)
+
+    def _deadline(self, deadline_ms: int | None) -> int | None:
+        return deadline_ms if deadline_ms is not None else self.deadline_ms
 
     # -- operations --------------------------------------------------------
 
     async def ping(self) -> bytes:
-        _, payload = await self._request(p.encode_frame(p.OP_PING))
+        _, payload = await self._call(p.encode_frame(p.OP_PING))
         return payload
 
-    async def put(self, key: bytes, value: bytes) -> None:
-        await self._request(p.encode_put(key, value))
+    async def put(
+        self, key: bytes, value: bytes, *, deadline_ms: int | None = None
+    ) -> None:
+        await self._call(p.encode_put(key, value, self._deadline(deadline_ms)))
 
-    async def get(self, key: bytes) -> bytes | None:
-        status, payload = await self._request(p.encode_get(key))
+    async def get(
+        self, key: bytes, *, deadline_ms: int | None = None
+    ) -> bytes | None:
+        status, payload = await self._call(
+            p.encode_get(key, self._deadline(deadline_ms))
+        )
         return None if status == p.STATUS_NOT_FOUND else payload
 
-    async def delete(self, key: bytes) -> None:
-        await self._request(p.encode_delete(key))
+    async def delete(self, key: bytes, *, deadline_ms: int | None = None) -> None:
+        await self._call(p.encode_delete(key, self._deadline(deadline_ms)))
 
-    async def multi_get(self, keys: list[bytes]) -> list[bytes | None]:
-        _, payload = await self._request(p.encode_multi_get(keys))
+    async def multi_get(
+        self, keys: list[bytes], *, deadline_ms: int | None = None
+    ) -> list[bytes | None]:
+        _, payload = await self._call(
+            p.encode_multi_get(keys, self._deadline(deadline_ms))
+        )
         return p.decode_values(payload)
 
     async def scan(
@@ -82,16 +262,37 @@ class ServeClient:
         start: bytes | None = None,
         end: bytes | None = None,
         limit: int | None = None,
+        *,
+        deadline_ms: int | None = None,
     ) -> list[tuple[bytes, bytes]]:
-        _, payload = await self._request(p.encode_scan(start, end, limit))
+        """Range scan ``[start, end)`` (None bounds are open-ended)."""
+        _, payload = await self._call(
+            p.encode_scan(start, end, limit, self._deadline(deadline_ms))
+        )
         return p.decode_entries(payload)
 
-    async def batch(self, ops: list[tuple[int, bytes, bytes]]) -> None:
+    async def batch(
+        self, ops: list[tuple[int, bytes, bytes]], *, deadline_ms: int | None = None
+    ) -> None:
         """``ops`` are (BATCH_PUT|BATCH_DELETE, key, value) tuples."""
-        await self._request(p.encode_batch(ops))
+        await self._call(p.encode_batch(ops, self._deadline(deadline_ms)))
 
     async def stats(self) -> dict:
-        import json
-
-        _, payload = await self._request(p.encode_frame(p.OP_STATS))
+        _, payload = await self._call(p.encode_frame(p.OP_STATS))
         return json.loads(payload.decode("utf-8"))
+
+    async def health(self) -> dict:
+        """The engine + server health report (never shed, never degraded)."""
+        _, payload = await self._call(p.encode_frame(p.OP_HEALTH))
+        return json.loads(payload.decode("utf-8"))
+
+    async def ready(self) -> bool:
+        """Readiness probe: True when the server accepts writes.
+
+        Returns False (instead of raising) on UNAVAILABLE — a probe's
+        answer is the point, not an exception."""
+        try:
+            status, _ = await self._call(p.encode_frame(p.OP_READY))
+        except UnavailableError:
+            return False
+        return status == p.STATUS_OK

@@ -7,14 +7,18 @@ Usage::
     python -m repro.tools metrics <store-dir>
     python -m repro.tools metrics --cache-report BENCH_read_scaling.json
     python -m repro.tools metrics --policy-report BENCH_compaction_policies.json
+    python -m repro.tools metrics --serve-report BENCH_serving_robustness.json
     python -m repro.tools timeline <trace.jsonl> [--json] [--width N] [--fs]
     python -m repro.tools crashtest [--quick] [--json PATH]
+    python -m repro.tools servechaos [--quick] [--schedules N] [--json PATH]
 
 The first two forms are the original table/manifest dumpers; ``metrics``
 replays a store's manifest into a per-level amplification report without
 opening the DB, ``timeline`` renders an exported trace (JSONL from
-``Tracer.export_jsonl``) as an ASCII Gantt chart or span JSON, and
-``crashtest`` runs the crash-point consistency harness (DESIGN.md §10).
+``Tracer.export_jsonl``) as an ASCII Gantt chart or span JSON,
+``crashtest`` runs the crash-point consistency harness (DESIGN.md §10),
+and ``servechaos`` runs composed network+disk fault schedules against
+the serving front end (DESIGN.md §15).
 """
 
 from __future__ import annotations
@@ -29,6 +33,7 @@ from ..storage.fs import LocalFS
 from .metrics_report import (
     format_cache_report,
     format_policy_report,
+    format_serve_report,
     format_sharded_store_report,
     format_store_report,
     is_sharded_store,
@@ -36,7 +41,7 @@ from .metrics_report import (
 from .sst_dump import describe_manifest, describe_table, dump_table
 
 #: Subcommand names dispatched before the legacy positional parser.
-_SUBCOMMANDS = ("metrics", "timeline", "crashtest")
+_SUBCOMMANDS = ("metrics", "timeline", "crashtest", "servechaos")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -78,6 +83,12 @@ def build_metrics_parser() -> argparse.ArgumentParser:
         help="render per-policy compaction counters from a policy-matrix "
         "benchmark report (BENCH_compaction_policies.json) instead of a store",
     )
+    parser.add_argument(
+        "--serve-report",
+        metavar="PATH",
+        help="render the overload-arm comparison from a serving-robustness "
+        "benchmark report (BENCH_serving_robustness.json) instead of a store",
+    )
     return parser
 
 
@@ -105,6 +116,7 @@ def _run_metrics(argv: list[str]) -> int:
     for path, formatter in (
         (args.cache_report, format_cache_report),
         (args.policy_report, format_policy_report),
+        (args.serve_report, format_serve_report),
     ):
         if not path:
             continue
@@ -166,6 +178,10 @@ def main(argv: list[str] | None = None) -> int:
         from .crashtest import run_crashtest_cli
 
         return run_crashtest_cli(argv[1:])
+    if argv and argv[0] == "servechaos":
+        from .servechaos import run_servechaos_cli
+
+        return run_servechaos_cli(argv[1:])
 
     args = build_parser().parse_args(argv)
     fs = LocalFS(args.store)

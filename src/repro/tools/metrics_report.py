@@ -452,3 +452,51 @@ def format_policy_report(report: dict) -> str:
             )
         )
     return "\n".join(lines)
+
+
+def format_serve_report(report: dict) -> str:
+    """Overload-arm comparison from a serving-robustness benchmark report.
+
+    ``report`` is the parsed ``BENCH_serving_robustness.json`` dict
+    (``benchmarks/perf/serving_robustness.py``); each arm carries tail
+    latency and goodput under the same 4x-capacity open-loop load, with
+    admission control the only difference.  The ratio lines at the bottom
+    are what the benchmark's ``--check`` gate enforces (DESIGN.md §15).
+    """
+    arms = report.get("arms")
+    if not isinstance(arms, dict) or not arms:
+        raise ValueError(
+            "report has no 'arms' section: not a serving-robustness report"
+        )
+
+    rows = []
+    for name, arm in arms.items():
+        rows.append(
+            [
+                name,
+                "on" if arm.get("admission_control") else "off",
+                arm.get("offered_ops_per_sec", "-"),
+                arm.get("completed", "-"),
+                arm.get("shed", 0),
+                arm.get("p50_ms", "-"),
+                arm.get("p99_ms", "-"),
+                arm.get("goodput_ops_per_sec", "-"),
+            ]
+        )
+    table_text = format_table(
+        [
+            "arm", "admission", "offered/s", "completed", "shed",
+            "p50 ms", "p99 ms", "goodput/s",
+        ],
+        rows,
+        title="Serving robustness under overload (from benchmark report)",
+    )
+    lines = [table_text]
+    p99 = report.get("p99_ratio_controlled_over_uncontrolled")
+    goodput = report.get("goodput_ratio_controlled_over_uncontrolled")
+    if p99 is not None and goodput is not None:
+        lines.append("")
+        lines.append(
+            f"controlled/uncontrolled: p99 {p99}x  goodput {goodput}x"
+        )
+    return "\n".join(lines)
